@@ -1,0 +1,121 @@
+"""Fig. 6: vanilla OAI vs OAI+FlexRAN -- agent overhead and transparency.
+
+Fig. 6a compares the eNodeB's CPU utilization and memory footprint with
+and without the FlexRAN agent, idle and with a UE running a speedtest;
+Fig. 6b compares the downlink/uplink throughput the UE experiences.
+The paper finds a very slight CPU/memory increase and *identical*
+throughput ("the communication of the eNodeB with the UE is fully
+transparent").
+
+Here "CPU" is the measured per-TTI processing time of the simulated
+eNodeB (+agent, +per-TTI statistics reporting toward a master) and
+"memory" is the deep object size of the data-plane (+agent) state.
+"""
+
+from __future__ import annotations
+
+import sys
+
+import pytest
+from conftest import print_table, run_once
+
+from repro.core.protocol.messages import ReportType
+from repro.lte.phy.tbs import capacity_mbps
+from repro.sim.scenarios import saturated_cell
+
+RUN_TTIS = 5000
+
+
+def deep_size(obj, seen=None) -> int:
+    seen = seen if seen is not None else set()
+    if id(obj) in seen:
+        return 0
+    seen.add(id(obj))
+    size = sys.getsizeof(obj)
+    if isinstance(obj, dict):
+        size += sum(deep_size(k, seen) + deep_size(v, seen)
+                    for k, v in obj.items())
+    elif isinstance(obj, (list, tuple, set, frozenset)):
+        size += sum(deep_size(i, seen) for i in obj)
+    elif hasattr(obj, "__dict__"):
+        size += deep_size(vars(obj), seen)
+    return size
+
+
+def run_case(*, with_agent: bool, loaded: bool, uplink: bool = False):
+    sc = saturated_cell(n_ues=1 if loaded else 0,
+                        with_agent=with_agent, with_master=with_agent,
+                        uplink=uplink)
+    if with_agent and sc.sim.master is not None:
+        # Default deployment reporting: full stats every TTI.
+        def subscribe(t):
+            if t == 2:
+                sc.sim.master.northbound.request_stats(
+                    sc.agent.agent_id, report_type=ReportType.PERIODIC,
+                    period_ttis=1)
+        from repro.net.clock import Phase
+        sc.sim.clock.register(Phase.POST, subscribe)
+    sc.sim.run(RUN_TTIS)
+    cpu_us = sc.enb.processing_time_s * 1e6 / RUN_TTIS
+    if with_agent:
+        cpu_us += sc.agent.processing_time_s * 1e6 / RUN_TTIS
+    mem_kb = deep_size(sc.enb) / 1024
+    if with_agent:
+        mem_kb += deep_size(sc.agent) / 1024
+    dl = sc.ues[0].throughput_mbps(sc.sim.now) if loaded else 0.0
+    ul = (sc.enb.counters.ul_delivered_bytes * 8 / (RUN_TTIS * 1000)
+          if loaded and uplink else 0.0)
+    return cpu_us, mem_kb, dl, ul
+
+
+def test_fig6a_agent_overhead(benchmark):
+    """Fig. 6a: per-TTI processing time and memory, idle and loaded."""
+
+    def experiment():
+        rows = []
+        results = {}
+        for with_agent in (False, True):
+            for loaded in (False, True):
+                cpu, mem, _, _ = run_case(with_agent=with_agent,
+                                          loaded=loaded)
+                label = "OAI+FlexRAN" if with_agent else "Vanilla"
+                state = "UE+speedtest" if loaded else "idle"
+                rows.append([label, state, cpu, mem])
+                results[(with_agent, loaded)] = (cpu, mem)
+        return rows, results
+
+    rows, results = run_once(benchmark, experiment)
+    print_table(
+        "Fig 6a -- eNodeB overhead of the FlexRAN agent "
+        "(paper: +0.2-0.5% CPU, +30-50 MB over ~1.3 GB)",
+        ["setup", "state", "cpu us/TTI", "memory KiB"], rows)
+    # Shape: the agent adds overhead, but a modest factor, and load
+    # dominates the agent cost.
+    vanilla_loaded = results[(False, True)]
+    agent_loaded = results[(True, True)]
+    assert agent_loaded[0] > vanilla_loaded[0]
+    assert agent_loaded[0] < 6 * vanilla_loaded[0]
+    assert agent_loaded[1] > vanilla_loaded[1]
+
+
+def test_fig6b_throughput_transparency(benchmark):
+    """Fig. 6b: identical DL/UL throughput with and without the agent."""
+
+    def experiment():
+        out = {}
+        for with_agent in (False, True):
+            _, _, dl, ul = run_case(with_agent=with_agent, loaded=True,
+                                    uplink=True)
+            out[with_agent] = (dl, ul)
+        return out
+
+    out = run_once(benchmark, experiment)
+    rows = [["Vanilla", out[False][0], out[False][1]],
+            ["OAI+FlexRAN", out[True][0], out[True][1]]]
+    print_table(
+        "Fig 6b -- UE throughput transparency "
+        "(paper: DL ~23, UL ~17 Mb/s, identical for both)",
+        ["setup", "downlink Mb/s", "uplink Mb/s"], rows)
+    assert out[True][0] == pytest.approx(out[False][0], rel=0.02)
+    assert out[True][1] == pytest.approx(out[False][1], rel=0.05)
+    assert out[True][0] == pytest.approx(capacity_mbps(15, 50), rel=0.05)

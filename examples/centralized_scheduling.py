@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Centralized real-time MAC scheduling under control-channel latency.
+
+Deploys the paper's flagship application -- a per-TTI centralized
+downlink scheduler at the master -- and demonstrates the Section 5.3
+result: with a round-trip latency on the master--agent channel, the
+scheduler must issue decisions at least RTT subframes ahead of time or
+every decision misses its deadline.
+
+Run:  python examples/centralized_scheduling.py
+"""
+
+from repro.lte.phy.channel import GaussMarkovSinr
+from repro.sim.scenarios import centralized_scheduling
+
+
+def run_case(rtt_ms: float, schedule_ahead: int) -> None:
+    scenario = centralized_scheduling(
+        ues_per_enb=2, rtt_ms=rtt_ms, schedule_ahead=schedule_ahead,
+        load_factor=1.3,
+        channel_factory=lambda e, i: GaussMarkovSinr(
+            22.0, sigma_db=1.5, reversion=0.03, seed=i))
+    scenario.sim.run(4000)
+
+    total = sum(u.meter.mean_mbps(4000) for u in scenario.ues_per_enb[0])
+    stub = scenario.agents[0].mac.remote_stub.stats
+    verdict = "OK" if total > 1.0 else "starved (deadline misses)"
+    print(f"  RTT {rtt_ms:>4.0f} ms, ahead {schedule_ahead:>3} sf -> "
+          f"{total:5.2f} Mb/s  "
+          f"[applied={stub.applied}, expired={stub.expired_on_arrival}] "
+          f"{verdict}")
+
+
+def main() -> None:
+    print("Centralized scheduler, ideal channel:")
+    run_case(rtt_ms=0, schedule_ahead=0)
+
+    print("\n20 ms RTT, schedule-ahead below the RTT (must fail):")
+    run_case(rtt_ms=20, schedule_ahead=8)
+
+    print("\n20 ms RTT, schedule-ahead >= RTT (works):")
+    run_case(rtt_ms=20, schedule_ahead=24)
+
+    print("\n60 ms RTT, generous schedule-ahead (works, slightly "
+          "degraded by stale channel state):")
+    run_case(rtt_ms=60, schedule_ahead=70)
+
+
+if __name__ == "__main__":
+    main()

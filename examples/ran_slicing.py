@@ -1,0 +1,59 @@
+#!/usr/bin/env python3
+"""RAN sharing: MVNO slicing with live policy reconfiguration.
+
+Reproduces the Section 6.3 workflow end to end over the FlexRAN
+protocol:
+
+1. the master *pushes* a sliced scheduler VSF to the agent (control
+   delegation -- the code travels over the wire and lands in the
+   agent's VSF cache);
+2. a policy reconfiguration message activates it with 70/30
+   MNO/MVNO resource fractions;
+3. mid-run, a second policy message reallocates to 40/60 -- no
+   restart, no data-plane interruption;
+4. per-operator throughput follows the fractions.
+
+Run:  python examples/ran_slicing.py
+"""
+
+from repro.core.apps.ran_sharing import ShareChange
+from repro.sim.scenarios import ran_sharing
+
+
+def main() -> None:
+    scenario = ran_sharing(
+        ues_per_operator=5,
+        initial_fractions={"mno": 0.7, "mvno": 0.3},
+        changes=[ShareChange(at_tti=5000,
+                             fractions={"mno": 0.4, "mvno": 0.6})],
+        per_ue_load_mbps=2.0)
+    sim = scenario.sim
+
+    # Phase 1: 70/30.
+    sim.run(5000)
+    snapshot1 = {op: sum(u.meter.total_bytes for u in ues)
+                 for op, ues in scenario.ues_by_operator.items()}
+    # Phase 2: 40/60 (applied by the RanSharingApp at t=5 s).
+    sim.run(5000)
+    snapshot2 = {op: sum(u.meter.total_bytes for u in ues)
+                 for op, ues in scenario.ues_by_operator.items()}
+
+    print("Agent-side scheduler:",
+          scenario.agent.mac.active_name("dl_scheduling"))
+    print("Policy changes applied:", scenario.app.applied_changes)
+    print()
+    print(f"{'phase':<22}{'MNO Mb/s':>10}{'MVNO Mb/s':>11}")
+    phase1 = {op: snapshot1[op] * 8 / 5000 / 1000 for op in snapshot1}
+    phase2 = {op: (snapshot2[op] - snapshot1[op]) * 8 / 5000 / 1000
+              for op in snapshot2}
+    print(f"{'phase 1 (70/30)':<22}{phase1['mno']:>10.2f}"
+          f"{phase1['mvno']:>11.2f}")
+    print(f"{'phase 2 (40/60)':<22}{phase2['mno']:>10.2f}"
+          f"{phase2['mvno']:>11.2f}")
+
+    print("\nThe MVNO's throughput roughly doubles after the live "
+          "reallocation, without any service interruption.")
+
+
+if __name__ == "__main__":
+    main()

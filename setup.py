@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package.
+
+`pip install -e .` on this offline box falls back to the legacy
+setup.py develop path (no bdist_wheel available); all real metadata
+lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,9 @@
+"""FlexRAN reproduction: a software-defined RAN platform in Python.
+
+Reimplements the system of *FlexRAN: A Flexible and Programmable
+Platform for Software-Defined Radio Access Networks* (CoNEXT 2016) over
+a TTI-driven LTE data-plane simulator.  See README.md for a tour and
+DESIGN.md for the substitution map against the paper's testbed.
+"""
+
+__version__ = "1.0.0"

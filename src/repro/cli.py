@@ -1,0 +1,183 @@
+"""Command-line entry point: ``python -m repro``.
+
+Small, self-contained demos over the canonical scenarios so a new user
+can see the platform working without writing code:
+
+    python -m repro info                 # what is installed
+    python -m repro demo quickstart      # one cell, one UE, monitoring
+    python -m repro demo latency         # Fig 9's feasibility boundary
+    python -m repro demo slicing         # live MVNO reallocation
+    python -m repro demo eicic           # the three Fig 10 modes
+    python -m repro demo dash            # assisted vs default streaming
+    python -m repro demo wifi            # the beyond-LTE agent
+
+Heavier, figure-accurate runs live in the benchmark harness
+(``pytest benchmarks/ --benchmark-only``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict
+
+
+def _demo_quickstart() -> None:
+    from repro.core.apps.monitoring import MonitoringApp
+    from repro.lte.phy.channel import FixedCqi
+    from repro.lte.ue import Ue
+    from repro.sim.simulation import Simulation
+    from repro.traffic.generators import SaturatingSource
+
+    sim = Simulation(with_master=True)
+    enb = sim.add_enb()
+    agent = sim.add_agent(enb, rtt_ms=2.0)
+    ue = Ue("208930000000001", FixedCqi(15))
+    sim.add_ue(enb, ue)
+    sim.add_downlink_traffic(enb, ue, SaturatingSource(start_tti=20))
+    sim.master.add_app(MonitoringApp())
+    sim.run(2000)
+    print(f"UE goodput over 2 s: {ue.throughput_mbps(sim.now):.2f} Mb/s "
+          "(paper ceiling: ~25)")
+    print(f"RIB knows {sim.master.rib.ue_count()} UE(s); active VSF: "
+          f"{agent.mac.active_name('dl_scheduling')}")
+
+
+def _demo_latency() -> None:
+    from repro.sim.scenarios import centralized_scheduling
+
+    print("Centralized scheduling: ahead must cover the RTT (Fig 9).")
+    for rtt, ahead in [(0, 0), (20, 8), (20, 24), (60, 64)]:
+        sc = centralized_scheduling(ues_per_enb=1, rtt_ms=rtt,
+                                    schedule_ahead=ahead, load_factor=1.3)
+        sc.sim.run(3000)
+        mbps = sc.ues_per_enb[0][0].meter.mean_mbps(3000)
+        state = "OK" if mbps > 1 else "deadline misses -> starved"
+        print(f"  RTT {rtt:>2} ms, ahead {ahead:>2}: {mbps:6.2f} Mb/s  {state}")
+
+
+def _demo_slicing() -> None:
+    from repro.core.apps.ran_sharing import ShareChange
+    from repro.sim.scenarios import ran_sharing
+
+    sc = ran_sharing(initial_fractions={"mno": 0.7, "mvno": 0.3},
+                     changes=[ShareChange(at_tti=4000,
+                                          fractions={"mno": 0.4,
+                                                     "mvno": 0.6})])
+    sc.sim.run(4000)
+    snap = {op: sum(u.meter.total_bytes for u in ues)
+            for op, ues in sc.ues_by_operator.items()}
+    sc.sim.run(4000)
+    print("MNO/MVNO throughput, phase 1 (70/30) -> phase 2 (40/60):")
+    for op in ("mno", "mvno"):
+        total = sum(u.meter.total_bytes for u in sc.ues_by_operator[op])
+        p1 = snap[op] * 8 / 4000 / 1000
+        p2 = (total - snap[op]) * 8 / 4000 / 1000
+        print(f"  {op:>4}: {p1:5.2f} -> {p2:5.2f} Mb/s")
+
+
+def _demo_eicic() -> None:
+    from repro.sim.scenarios import EICIC_MODES, hetnet_eicic
+
+    print("HetNet interference management (Fig 10):")
+    for mode in EICIC_MODES:
+        sc = hetnet_eicic(mode)
+        sc.sim.run(6000)
+        total = (sum(u.meter.mean_mbps(6000) for u in sc.macro_ues)
+                 + sc.small_ue.meter.mean_mbps(6000))
+        print(f"  {mode:<14} network throughput: {total:5.2f} Mb/s")
+
+
+def _demo_dash() -> None:
+    from repro.sim.scenarios import dash_streaming
+
+    print("4K DASH under drastic channel swings (Fig 11b), 60 s:")
+    for assisted in (False, True):
+        sc = dash_streaming("high", assisted=assisted)
+        sc.sim.run(60_000)
+        label = "assisted" if assisted else "default "
+        c = sc.client
+        print(f"  {label}: {c.segments_completed * 2:>3d} s downloaded, "
+              f"{c.freeze_count()} freezes "
+              f"({c.total_freeze_ms()} ms frozen)")
+
+
+def _demo_wifi() -> None:
+    from repro.core.policy import build_policy
+    from repro.core.protocol.messages import PolicyReconfiguration
+    from repro.net.transport import ControlConnection
+    from repro.wifi.agent import WifiAgent
+    from repro.wifi.ap import Station, WifiAp
+
+    ap = WifiAp(1)
+    fast = Station(mac="02::01", snr_db=60.0)
+    slow = Station(mac="02::02", snr_db=15.0)
+    for s in (fast, slow):
+        ap.associate(s)
+    conn = ControlConnection()
+    agent = WifiAgent(1, ap, endpoint=conn.agent_side)
+
+    def run(slots, offset):
+        for t in range(offset, offset + slots):
+            for s in (fast, slow):
+                ap.enqueue(s.aid, 6000, t)
+            agent.tick_tx(t)
+            agent.tick_rx(t)
+            ap.tick(t)
+
+    run(2000, 0)
+    print("Wi-Fi AP under the same FlexRAN machinery (Sec 7.2):")
+    print(f"  fair airtime: fast {fast.meter.total_bytes * 8 / 2e6:.1f}, "
+          f"slow {slow.meter.total_bytes * 8 / 2e6:.1f} Mb/s")
+    conn.master_side.send(PolicyReconfiguration(text=build_policy(
+        "wifi_mac", "station_scheduling", behavior="max_rate")), now=2000)
+    f0, s0 = fast.meter.total_bytes, slow.meter.total_bytes
+    run(2000, 2000)
+    print(f"  max-rate VSF (swapped by policy message): "
+          f"fast {(fast.meter.total_bytes - f0) * 8 / 2e6:.1f}, "
+          f"slow {(slow.meter.total_bytes - s0) * 8 / 2e6:.1f} Mb/s")
+
+
+DEMOS: Dict[str, Callable[[], None]] = {
+    "quickstart": _demo_quickstart,
+    "latency": _demo_latency,
+    "slicing": _demo_slicing,
+    "eicic": _demo_eicic,
+    "dash": _demo_dash,
+    "wifi": _demo_wifi,
+}
+
+
+def _cmd_info() -> None:
+    import repro
+    from repro.core.protocol.messages import MESSAGE_TYPES
+
+    print(f"repro {repro.__version__} -- FlexRAN (CoNEXT 2016) "
+          "reproduction")
+    print(f"protocol message types: {len(MESSAGE_TYPES)}")
+    print(f"demos: {', '.join(sorted(DEMOS))}")
+    print("docs: README.md, DESIGN.md, EXPERIMENTS.md, docs/PROTOCOL.md")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("info", help="show version and capabilities")
+    demo = sub.add_parser("demo", help="run a small demo scenario")
+    demo.add_argument("name", choices=sorted(DEMOS))
+    args = parser.parse_args(argv)
+
+    if args.command == "info":
+        _cmd_info()
+    elif args.command == "demo":
+        DEMOS[args.name]()
+    else:
+        parser.print_help()
+        return 2
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,22 @@
+"""The FlexRAN agent: control modules, VSFs, reports, dispatcher."""
+
+from repro.core.agent.agent import FlexRanAgent
+from repro.core.agent.api import AgentDataPlaneApi
+from repro.core.agent.cmi import CmiError, ControlModule
+from repro.core.agent.mac_module import MacControlModule, RemoteSchedulingStub
+from repro.core.agent.pdcp_module import PdcpControlModule
+from repro.core.agent.reports import ReportsManager, Subscription
+from repro.core.agent.rrc_module import RrcControlModule
+
+__all__ = [
+    "FlexRanAgent",
+    "AgentDataPlaneApi",
+    "CmiError",
+    "ControlModule",
+    "MacControlModule",
+    "RemoteSchedulingStub",
+    "PdcpControlModule",
+    "ReportsManager",
+    "Subscription",
+    "RrcControlModule",
+]

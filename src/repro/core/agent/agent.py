@@ -1,0 +1,279 @@
+"""The FlexRAN Agent: local controller attached to one eNodeB.
+
+Mirrors the architecture of the paper's Fig. 2: control modules with
+their VSFs, the Reports & Events Manager, the message handler and
+dispatcher, and the asynchronous communication channel to the master.
+The agent can operate standalone (local control via its built-in VSFs,
+no master connected) or under a master with any mix of delegated and
+centralized control -- the "flexible placement of RAN control
+functions" the paper emphasizes.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.core.agent.api import AgentDataPlaneApi
+from repro.core.agent.cmi import ControlModule
+from repro.core.agent.mac_module import MacControlModule
+from repro.core.agent.pdcp_module import PdcpControlModule
+from repro.core.agent.rrc_module import RrcControlModule
+from repro.core.agent.reports import ReportsManager
+from repro.core.delegation import VsfFactoryRegistry, load_vsf
+from repro.core.policy import PolicyDocument
+from repro.core.protocol.messages import (
+    CaCommand,
+    ConfigReply,
+    ConfigRequest,
+    DlMacCommand,
+    DrxCommand,
+    EchoReply,
+    EchoRequest,
+    EventNotification,
+    EventType,
+    FlexRanMessage,
+    HandoverCommand,
+    Header,
+    Hello,
+    PolicyReconfiguration,
+    SetConfig,
+    StatsRequest,
+    SubframeTrigger,
+    UlMacCommand,
+    VsfUpdate,
+)
+from repro.lte.constants import SUBFRAMES_PER_FRAME
+from repro.lte.enodeb import EnbEvent, EnbEventType, EnodeB
+from repro.lte.mac.dci import DlAssignment, UlGrant
+
+logger = logging.getLogger(__name__)
+
+_ENB_EVENT_MAP = {
+    EnbEventType.UE_ATTACHED: EventType.UE_ATTACH,
+    EnbEventType.ATTACH_FAILED: EventType.ATTACH_FAILED,
+    EnbEventType.RANDOM_ACCESS: EventType.RANDOM_ACCESS,
+    EnbEventType.SCHEDULING_REQUEST: EventType.SCHEDULING_REQUEST,
+    EnbEventType.HANDOVER_COMPLETE: EventType.HANDOVER_COMPLETE,
+}
+
+
+class FlexRanAgent:
+    """Agent instance: one per eNodeB (Section 3)."""
+
+    def __init__(self, agent_id: int, enb: EnodeB, *,
+                 endpoint=None,
+                 sync_enabled: bool = False,
+                 vsf_registry: Optional[VsfFactoryRegistry] = None,
+                 capabilities: Optional[List[str]] = None) -> None:
+        self.agent_id = agent_id
+        self.enb = enb
+        self.api = AgentDataPlaneApi(enb)
+        self.endpoint = endpoint
+        self.sync_enabled = sync_enabled
+        self.vsf_registry = vsf_registry or VsfFactoryRegistry()
+        self.capabilities = capabilities or ["mac", "rrc", "pdcp"]
+
+        self.mac = MacControlModule(self.api)
+        self.rrc = RrcControlModule(self.api)
+        self.pdcp = PdcpControlModule(self.api)
+        self.modules: Dict[str, ControlModule] = {
+            m.name: m for m in (self.mac, self.rrc, self.pdcp)}
+
+        self.reports = ReportsManager(agent_id, self.api)
+        self._event_queue: List[EventNotification] = []
+        self.api.subscribe_events(self._on_enb_event)
+        # Sandbox faults (quarantined pushed code) are reported to the
+        # master as events so the operator "could quickly identify VSFs
+        # that present an unexpected behavior" (Section 4.3.1).
+        for module in self.modules.values():
+            module.on_vsf_fault(self._on_vsf_fault)
+
+        self._hello_sent = False
+        self._xid = 0
+        self.config_store: Dict[str, str] = {}
+        self.processing_time_s = 0.0
+        self.messages_handled = 0
+
+        self._handlers: Dict[type, Callable[[FlexRanMessage, int], None]] = {
+            EchoRequest: self._handle_echo,
+            ConfigRequest: self._handle_config_request,
+            SetConfig: self._handle_set_config,
+            StatsRequest: self._handle_stats_request,
+            DlMacCommand: self._handle_dl_command,
+            UlMacCommand: self._handle_ul_command,
+            DrxCommand: self._handle_drx,
+            CaCommand: self._handle_ca,
+            HandoverCommand: self._handle_handover,
+            VsfUpdate: self._handle_vsf_update,
+            PolicyReconfiguration: self._handle_policy,
+        }
+
+    # -- outbound ---------------------------------------------------------
+
+    def _next_xid(self) -> int:
+        self._xid += 1
+        return self._xid
+
+    def _send(self, message: FlexRanMessage, now: int) -> None:
+        if self.endpoint is None:
+            return
+        message.header.agent_id = self.agent_id
+        message.header.tti = now
+        self.endpoint.send(message, now=now)
+
+    def tick_tx(self, now: int) -> None:
+        """AGENT_TX phase: hello, sync, due reports, queued events."""
+        start = time.perf_counter()
+        if self.endpoint is not None and not self._hello_sent:
+            self._send(Hello(header=Header(xid=self._next_xid()),
+                             capabilities=list(self.capabilities),
+                             n_cells=len(self.api.cell_ids)), now)
+            self._hello_sent = True
+        if self.sync_enabled:
+            self._send(SubframeTrigger(
+                header=Header(xid=self._next_xid()),
+                sfn=now // SUBFRAMES_PER_FRAME,
+                sf=now % SUBFRAMES_PER_FRAME), now)
+        for reply in self.reports.due_replies(now):
+            self._send(reply, now)
+        events, self._event_queue = self._event_queue, []
+        for event in events:
+            self._send(event, now)
+        self.processing_time_s += time.perf_counter() - start
+
+    # -- inbound ----------------------------------------------------------
+
+    def tick_rx(self, now: int) -> None:
+        """AGENT_RX phase: dispatch every received protocol message."""
+        if self.endpoint is None:
+            return
+        start = time.perf_counter()
+        for message in self.endpoint.receive(now=now):
+            self.dispatch(message, now)
+        self.processing_time_s += time.perf_counter() - start
+
+    def dispatch(self, message: FlexRanMessage, now: int) -> None:
+        """Route one protocol message to its handler (message handler
+        and dispatcher entity of Fig. 2)."""
+        handler = self._handlers.get(type(message))
+        if handler is None:
+            raise TypeError(
+                f"agent {self.agent_id} cannot handle "
+                f"{type(message).__name__}")
+        handler(message, now)
+        self.messages_handled += 1
+
+    # -- handlers ---------------------------------------------------------
+
+    def _handle_echo(self, message: EchoRequest, now: int) -> None:
+        self._send(EchoReply(header=Header(xid=message.header.xid)), now)
+
+    def _handle_config_request(self, message: ConfigRequest, now: int) -> None:
+        reply = ConfigReply(
+            header=Header(xid=message.header.xid),
+            enb_id=self.api.enb_id,
+            cells=self.api.get_cell_configs(),
+            ues=self.api.get_ue_configs())
+        if message.scope == "cells":
+            reply.ues = []
+        elif message.scope == "ues":
+            reply.cells = []
+        self._send(reply, now)
+
+    def _handle_set_config(self, message: SetConfig, now: int) -> None:
+        for key, value in message.entries.items():
+            if key == "abs_pattern":
+                pattern = [int(s) for s in value.split(",") if s != ""]
+                self.api.set_abs_pattern(message.cell_id, pattern)
+            elif key == "dl_prb_cap":
+                cap = None if value in ("", "none") else int(value)
+                self.api.set_prb_cap(message.cell_id, cap)
+            elif key == "bearer_qos":
+                from repro.lte.mac.qos import parse_bearer_config
+                rnti, lcid, profile = parse_bearer_config(value)
+                self.api.configure_bearer(rnti, lcid, profile)
+            elif key == "sync":
+                self.sync_enabled = value == "on"
+            else:
+                self.config_store[key] = value
+
+    def _handle_stats_request(self, message: StatsRequest, now: int) -> None:
+        self.reports.register(message, now)
+
+    def _handle_dl_command(self, message: DlMacCommand, now: int) -> None:
+        assignments = [
+            DlAssignment(rnti=d.rnti, n_prb=d.n_prb, cqi_used=d.cqi_used)
+            for d in message.assignments]
+        self.mac.apply_remote_decision(
+            message.cell_id, message.target_tti, assignments, now)
+
+    def _handle_ul_command(self, message: UlMacCommand, now: int) -> None:
+        grants = [UlGrant(rnti=g.rnti, n_prb=g.n_prb, cqi_used=g.cqi_used)
+                  for g in message.grants]
+        self.mac.apply_remote_ul_decision(
+            message.cell_id, message.target_tti, grants, now)
+
+    def _handle_drx(self, message: DrxCommand, now: int) -> None:
+        self.api.set_drx(message.rnti, cycle_ttis=message.cycle_ttis,
+                         on_duration_ttis=message.on_duration_ttis,
+                         inactivity_ttis=message.inactivity_ttis)
+
+    def _handle_ca(self, message: CaCommand, now: int) -> None:
+        self.api.set_scell(message.rnti, message.scell_id,
+                           message.activate, tti=now)
+
+    def _handle_handover(self, message: HandoverCommand, now: int) -> None:
+        self.rrc.execute_handover(
+            message.rnti, message.source_cell, message.target_cell, now)
+
+    def _handle_vsf_update(self, message: VsfUpdate, now: int) -> None:
+        module = self.modules.get(message.module)
+        if module is None:
+            raise KeyError(
+                f"agent {self.agent_id} has no control module "
+                f"{message.module!r}")
+        logger.info("agent %d: VSF update %s.%s <- %s (%d bytes)",
+                    self.agent_id, message.module, message.operation,
+                    message.name, len(message.blob))
+        vsf = load_vsf(message.blob, self.vsf_registry)
+        bind = getattr(vsf, "bind", None)
+        if callable(bind):
+            # Some VSFs (e.g. ABS-time stubs) need the owning module's
+            # remote-decision store; binding is the loader's link step.
+            bind(module)
+        module.register_vsf(message.operation, message.name, vsf)
+
+    def _handle_policy(self, message: PolicyReconfiguration, now: int) -> None:
+        logger.info("agent %d: policy reconfiguration received",
+                    self.agent_id)
+        document = PolicyDocument.from_text(message.text)
+        for module_name, policies in document.modules.items():
+            module = self.modules.get(module_name)
+            if module is None:
+                raise KeyError(
+                    f"agent {self.agent_id} has no control module "
+                    f"{module_name!r}")
+            for policy in policies:
+                module.apply_policy(policy)
+
+    # -- events -----------------------------------------------------------
+
+    def _on_vsf_fault(self, operation: str, vsf_name: str,
+                      reason: str) -> None:
+        self._event_queue.append(EventNotification(
+            header=Header(xid=self._next_xid()),
+            event_type=int(EventType.VSF_FAULT),
+            details={"operation": operation, "vsf": vsf_name,
+                     "reason": reason[:120]}))
+
+    def _on_enb_event(self, event: EnbEvent) -> None:
+        kind = _ENB_EVENT_MAP.get(event.type)
+        if kind is None:
+            return
+        self._event_queue.append(EventNotification(
+            header=Header(xid=self._next_xid()),
+            event_type=int(kind), rnti=event.rnti or 0,
+            cell_id=event.cell_id or 0,
+            details={str(k): str(v) for k, v in event.payload.items()}))

@@ -1,0 +1,145 @@
+"""Reports & Events Manager: one-off, periodic and triggered reporting.
+
+Implements the agent-side subscription machinery of Section 4.3.1: the
+master registers statistics requests asynchronously; the agent keeps
+the registrations and emits a :class:`StatsReply` when due.  Periodic
+reports use the TTI as the time reference for the interval; triggered
+reports fire "only when there is a change in the contents of the
+requested report".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.agent.api import AgentDataPlaneApi
+from repro.core.protocol.messages import (
+    CellStatsReport,
+    Header,
+    ReportType,
+    StatsFlags,
+    StatsReply,
+    StatsRequest,
+    UeStatsReport,
+)
+
+
+@dataclass
+class Subscription:
+    """One registered statistics request."""
+
+    xid: int
+    report_type: int
+    period_ttis: int
+    flags: int
+    created_tti: int
+    served: bool = False
+    last_digest: Optional[int] = None
+
+
+class ReportsManager:
+    """Registers report requests and produces due replies."""
+
+    def __init__(self, agent_id: int, api: AgentDataPlaneApi) -> None:
+        self._agent_id = agent_id
+        self._api = api
+        self._subscriptions: Dict[int, Subscription] = {}
+        self.reports_sent = 0
+
+    def register(self, request: StatsRequest, now: int) -> None:
+        """Apply a StatsRequest (or cancel an existing subscription)."""
+        xid = request.header.xid
+        if request.report_type == ReportType.CANCEL:
+            self._subscriptions.pop(xid, None)
+            return
+        if request.report_type == ReportType.PERIODIC and request.period_ttis <= 0:
+            raise ValueError(
+                f"periodic report needs period >= 1 TTI, got "
+                f"{request.period_ttis}")
+        self._subscriptions[xid] = Subscription(
+            xid=xid, report_type=request.report_type,
+            period_ttis=max(1, request.period_ttis), flags=request.flags,
+            created_tti=now)
+
+    def active_subscriptions(self) -> List[Subscription]:
+        return [self._subscriptions[x] for x in sorted(self._subscriptions)]
+
+    def due_replies(self, now: int) -> List[StatsReply]:
+        """Build the statistics replies owed at this TTI."""
+        replies: List[StatsReply] = []
+        snapshot: Optional[Tuple[List[UeStatsReport], List[CellStatsReport]]] = None
+        done: List[int] = []
+        for sub in self.active_subscriptions():
+            if not self._is_due(sub, now):
+                continue
+            if snapshot is None:
+                snapshot = (self._api.get_ue_stats(now),
+                            self._api.get_cell_stats(now))
+            ue_reports, cell_reports = self._filter(snapshot, sub.flags)
+            if sub.report_type == ReportType.TRIGGERED:
+                digest = self._digest(ue_reports)
+                if digest == sub.last_digest:
+                    continue
+                sub.last_digest = digest
+            replies.append(StatsReply(
+                header=Header(agent_id=self._agent_id, xid=sub.xid, tti=now),
+                report_type=sub.report_type,
+                ue_reports=ue_reports, cell_reports=cell_reports))
+            sub.served = True
+            if sub.report_type == ReportType.ONE_OFF:
+                done.append(sub.xid)
+        for xid in done:
+            del self._subscriptions[xid]
+        self.reports_sent += len(replies)
+        return replies
+
+    def _is_due(self, sub: Subscription, now: int) -> bool:
+        if sub.report_type == ReportType.ONE_OFF:
+            return not sub.served
+        if sub.report_type == ReportType.PERIODIC:
+            return (now - sub.created_tti) % sub.period_ttis == 0
+        if sub.report_type == ReportType.TRIGGERED:
+            return True  # change detection happens against the digest
+        return False
+
+    @staticmethod
+    def _filter(snapshot: Tuple[List[UeStatsReport], List[CellStatsReport]],
+                flags: int) -> Tuple[List[UeStatsReport], List[CellStatsReport]]:
+        """Trim a full snapshot down to the subscribed statistic groups."""
+        ue_full, cell_full = snapshot
+        cells = list(cell_full) if flags & StatsFlags.CELL else []
+        ues: List[UeStatsReport] = []
+        for rep in ue_full:
+            trimmed = UeStatsReport(rnti=rep.rnti, rrc_state=rep.rrc_state)
+            if flags & StatsFlags.QUEUES:
+                trimmed.queues = dict(rep.queues)
+                trimmed.ul_buffer_bytes = rep.ul_buffer_bytes
+            if flags & StatsFlags.CQI:
+                trimmed.wb_cqi = rep.wb_cqi
+                trimmed.wb_cqi_clear = rep.wb_cqi_clear
+                trimmed.subband_cqi = list(rep.subband_cqi)
+                trimmed.subband_sinr_db_x10 = list(rep.subband_sinr_db_x10)
+                trimmed.power_headroom_db = rep.power_headroom_db
+                trimmed.neighbor_cqi = dict(rep.neighbor_cqi)
+            if flags & StatsFlags.HARQ:
+                trimmed.harq_states = list(rep.harq_states)
+            if flags & StatsFlags.RLC:
+                trimmed.rlc_bytes_in = rep.rlc_bytes_in
+                trimmed.rlc_bytes_out = rep.rlc_bytes_out
+            if flags & StatsFlags.PDCP:
+                trimmed.pdcp_tx_bytes = rep.pdcp_tx_bytes
+                trimmed.pdcp_rx_bytes = rep.pdcp_rx_bytes
+                trimmed.rx_bytes_total = rep.rx_bytes_total
+            ues.append(trimmed)
+        return ues, cells
+
+    @staticmethod
+    def _digest(reports: List[UeStatsReport]) -> int:
+        """Change-detection digest over the reportable content."""
+        keys = []
+        for rep in reports:
+            keys.append((rep.rnti, tuple(sorted(rep.queues.items())),
+                         rep.wb_cqi, rep.ul_buffer_bytes,
+                         tuple(rep.harq_states), rep.rx_bytes_total))
+        return hash(tuple(keys))

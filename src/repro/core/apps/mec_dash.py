@@ -1,0 +1,92 @@
+"""Mobile Edge Computing use case: RAN-assisted DASH (Section 6.2).
+
+A MEC application deployed over FlexRAN "uses the RIB to obtain
+real-time information about the CQI values of the attached UEs",
+computes an exponential moving average of each UE's CQI, maps it to
+the optimal video bitrate via a measured CQI -> sustainable-bitrate
+table (Table 2), and forwards the target through an out-of-band
+channel to the modified DASH client (:class:`AssistedAbr`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.apps.base import App
+from repro.core.controller.northbound import NorthboundApi
+from repro.core.protocol.messages import ReportType, StatsFlags
+from repro.traffic.dash import AssistedAbr
+
+# The paper's Table 2: CQI -> maximum sustainable video bitrate (Mb/s).
+# Benchmarks regenerate this table from simulation (bench_table2_cqi);
+# the values here seed the app when no measured table is supplied.
+PAPER_TABLE2_BITRATES: Dict[int, float] = {2: 1.4, 3: 2.0, 4: 2.9, 10: 7.3}
+
+
+def bitrate_for_cqi(table: Dict[int, float], cqi: float) -> float:
+    """Largest table entry at or below *cqi* (conservative mapping)."""
+    eligible = [c for c in table if c <= cqi]
+    if not eligible:
+        return min(table.values())
+    return table[max(eligible)]
+
+
+@dataclass
+class AssistedClientBinding:
+    """Wires one RIB UE to one assisted DASH client."""
+
+    agent_id: int
+    rnti: int
+    abr: AssistedAbr
+
+
+class MecDashApp(App):
+    """Maps RIB CQI to DASH bitrate targets for assisted clients."""
+
+    name = "mec_dash"
+    priority = 10
+
+    def __init__(self, bindings: List[AssistedClientBinding], *,
+                 bitrate_table: Optional[Dict[int, float]] = None,
+                 period_ttis: int = 100,
+                 stats_period_ttis: int = 10,
+                 ewma_alpha: float = 0.3) -> None:
+        if not 0 < ewma_alpha <= 1:
+            raise ValueError(f"ewma_alpha must be in (0, 1], got {ewma_alpha}")
+        self.bindings = list(bindings)
+        self.bitrate_table = dict(bitrate_table or PAPER_TABLE2_BITRATES)
+        self.period_ttis = period_ttis
+        self._stats_period = stats_period_ttis
+        self.ewma_alpha = ewma_alpha
+        self._cqi_ewma: Dict[Tuple[int, int], float] = {}
+        self._subscribed: set = set()
+        self.targets_sent: List[Tuple[int, int, float]] = []
+
+    def run(self, tti: int, nb: NorthboundApi) -> None:
+        for binding in self.bindings:
+            if binding.agent_id not in self._subscribed:
+                if binding.agent_id not in nb.agent_ids():
+                    continue
+                nb.request_stats(binding.agent_id,
+                                 report_type=ReportType.PERIODIC,
+                                 period_ttis=self._stats_period,
+                                 flags=int(StatsFlags.CQI | StatsFlags.QUEUES))
+                self._subscribed.add(binding.agent_id)
+            agent = nb.rib.agent(binding.agent_id)
+            node = None
+            for candidate in agent.all_ues():
+                if candidate.rnti == binding.rnti:
+                    node = candidate
+                    break
+            if node is None or node.stats is None:
+                continue
+            key = (binding.agent_id, binding.rnti)
+            prev = self._cqi_ewma.get(key)
+            ewma = (node.cqi if prev is None
+                    else (1 - self.ewma_alpha) * prev
+                    + self.ewma_alpha * node.cqi)
+            self._cqi_ewma[key] = ewma
+            target = bitrate_for_cqi(self.bitrate_table, ewma)
+            binding.abr.set_target(target)
+            self.targets_sent.append((tti, binding.rnti, target))

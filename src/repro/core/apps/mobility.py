@@ -1,0 +1,108 @@
+"""Mobility management application (Section 7.1, Mobility Management).
+
+The paper lists centralized mobility management as a use case FlexRAN
+enables: handover decisions made from the controller's network-wide
+view rather than from per-cell signal strength alone.  This app
+implements an A3-style rule over RIB measurements -- hand a UE over
+when a neighbor cell's reported CQI exceeds the serving cell's by a
+hysteresis margin for a time-to-trigger window -- optionally weighted
+by cell load (connected-UE count), which a purely distributed
+implementation could not see.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.apps.base import App
+from repro.core.controller.northbound import NorthboundApi
+from repro.core.protocol.messages import ReportType, StatsFlags
+
+
+@dataclass
+class HandoverDecision:
+    """Record of one issued handover."""
+
+    tti: int
+    rnti: int
+    source_agent: int
+    source_cell: int
+    target_cell: int
+
+
+class MobilityManagerApp(App):
+    """Centralized A3-with-load handover manager."""
+
+    name = "mobility_manager"
+    priority = 60
+
+    def __init__(self, *, period_ttis: int = 10,
+                 hysteresis_cqi: int = 2,
+                 time_to_trigger_ttis: int = 40,
+                 load_aware: bool = False,
+                 cell_to_agent: Optional[Dict[int, int]] = None) -> None:
+        self.period_ttis = period_ttis
+        self.hysteresis_cqi = hysteresis_cqi
+        self.time_to_trigger_ttis = time_to_trigger_ttis
+        self.load_aware = load_aware
+        #: cell id -> owning agent id (needed to command the target side).
+        self.cell_to_agent = dict(cell_to_agent or {})
+        self.decisions: List[HandoverDecision] = []
+        self._candidate_since: Dict[Tuple[int, int], int] = {}
+        self._subscribed: set = set()
+
+    def run(self, tti: int, nb: NorthboundApi) -> None:
+        loads = self._cell_loads(nb) if self.load_aware else {}
+        for agent in nb.rib.agents():
+            if agent.agent_id not in self._subscribed:
+                nb.request_stats(agent.agent_id,
+                                 report_type=ReportType.PERIODIC,
+                                 period_ttis=self.period_ttis,
+                                 flags=int(StatsFlags.CQI | StatsFlags.QUEUES
+                                           | StatsFlags.CELL))
+                self._subscribed.add(agent.agent_id)
+            for node in agent.all_ues():
+                if node.stats is None or not node.stats.neighbor_cqi:
+                    continue
+                best_cell, best_cqi = self._best_neighbor(
+                    node.stats.neighbor_cqi, loads)
+                key = (agent.agent_id, node.rnti)
+                if (best_cell is not None
+                        and best_cqi >= node.cqi + self.hysteresis_cqi):
+                    since = self._candidate_since.setdefault(key, tti)
+                    if tti - since >= self.time_to_trigger_ttis:
+                        nb.send_handover(agent.agent_id, node.rnti,
+                                         node.cell_id, best_cell)
+                        self.decisions.append(HandoverDecision(
+                            tti=tti, rnti=node.rnti,
+                            source_agent=agent.agent_id,
+                            source_cell=node.cell_id,
+                            target_cell=best_cell))
+                        del self._candidate_since[key]
+                else:
+                    self._candidate_since.pop(key, None)
+
+    def _best_neighbor(self, neighbor_cqi: Dict[int, int],
+                       loads: Dict[int, int]) -> Tuple[Optional[int], int]:
+        best_cell: Optional[int] = None
+        best_score = -1.0
+        best_cqi = 0
+        for cell_id in sorted(neighbor_cqi):
+            cqi = neighbor_cqi[cell_id]
+            # Load-aware scoring discounts a strong but crowded cell.
+            penalty = loads.get(cell_id, 0) * 0.5 if self.load_aware else 0.0
+            score = cqi - penalty
+            if score > best_score:
+                best_score = score
+                best_cell = cell_id
+                best_cqi = cqi
+        return best_cell, best_cqi
+
+    @staticmethod
+    def _cell_loads(nb: NorthboundApi) -> Dict[int, int]:
+        loads: Dict[int, int] = {}
+        for agent in nb.rib.agents():
+            for cell_id, cell in agent.cells.items():
+                loads[cell_id] = len(cell.ues)
+        return loads

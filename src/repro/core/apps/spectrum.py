@@ -1,0 +1,105 @@
+"""Spectrum sharing use case: a Licensed Shared Access controller.
+
+Section 7.1 of the paper: "An LSA controller dynamically manages the
+access to the shared spectrum based on these agreements.  Such an
+operation could easily be implemented as an application on top of
+FlexRAN."  This app does exactly that: an *incumbent* (e.g. a radar or
+PMSE user) owns part of the band; while the incumbent is active, the
+MNO must vacate the shared portion.  The app tracks the incumbent's
+activity calendar and pushes ``dl_prb_cap`` configuration commands to
+the affected agents, shrinking and restoring the usable carrier at
+runtime -- no eNodeB restart, transparently to the UEs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.apps.base import App
+from repro.core.controller.northbound import NorthboundApi
+
+
+@dataclass(frozen=True)
+class IncumbentWindow:
+    """One interval of incumbent activity on the shared band."""
+
+    start_tti: int
+    end_tti: int
+
+    def __post_init__(self) -> None:
+        if self.end_tti <= self.start_tti:
+            raise ValueError(
+                f"empty incumbent window [{self.start_tti}, {self.end_tti})")
+
+    def active(self, tti: int) -> bool:
+        return self.start_tti <= tti < self.end_tti
+
+
+@dataclass
+class LsaAgreement:
+    """The sharing contract for one cell.
+
+    ``licensed_prbs`` are always usable by the MNO; the remaining PRBs
+    up to the carrier width are the shared band, usable only while the
+    incumbent is silent.
+    """
+
+    agent_id: int
+    cell_id: int
+    licensed_prbs: int
+    windows: Tuple[IncumbentWindow, ...] = ()
+
+    def incumbent_active(self, tti: int) -> bool:
+        return any(w.active(tti) for w in self.windows)
+
+
+class LsaSpectrumApp(App):
+    """Licensed Shared Access controller over FlexRAN."""
+
+    name = "lsa_controller"
+    priority = 70  # spectrum compliance outranks ordinary apps
+    period_ttis = 1
+
+    def __init__(self, agreements: Sequence[LsaAgreement], *,
+                 notice_ttis: int = 2) -> None:
+        """``notice_ttis``: how far ahead of a window edge the vacate /
+        restore command is sent, covering the control-channel latency so
+        the cell is clear *when* the incumbent starts."""
+        if notice_ttis < 0:
+            raise ValueError(f"notice must be >= 0, got {notice_ttis}")
+        self.agreements = list(agreements)
+        self.notice_ttis = notice_ttis
+        #: (agent, cell) -> currently commanded cap (None = full band).
+        self._commanded: Dict[Tuple[int, int], Optional[int]] = {}
+        self.vacate_commands = 0
+        self.restore_commands = 0
+
+    def run(self, tti: int, nb: NorthboundApi) -> None:
+        known = set(nb.agent_ids())
+        horizon = tti + self.notice_ttis
+        for agreement in self.agreements:
+            if agreement.agent_id not in known:
+                continue
+            wanted: Optional[int] = (
+                agreement.licensed_prbs
+                if agreement.incumbent_active(horizon) else None)
+            key = (agreement.agent_id, agreement.cell_id)
+            if key not in self._commanded and wanted is None:
+                # Full band is the cell's default state; nothing to send.
+                self._commanded[key] = None
+                continue
+            if self._commanded.get(key, "unset") == wanted:
+                continue
+            value = "none" if wanted is None else str(wanted)
+            nb.set_config(agreement.agent_id, agreement.cell_id,
+                          {"dl_prb_cap": value})
+            self._commanded[key] = wanted
+            if wanted is None:
+                self.restore_commands += 1
+            else:
+                self.vacate_commands += 1
+
+    def current_cap(self, agent_id: int, cell_id: int) -> Optional[int]:
+        """The cap last commanded for a cell (None = full carrier)."""
+        return self._commanded.get((agent_id, cell_id))

@@ -1,0 +1,62 @@
+"""Events Notification Service: fan events out to applications.
+
+"The Events Notifications Service of the master controller notifies
+the applications (mainly of the event-based type) about any changes
+that might have occurred on the agent side" (Section 4.4).  Apps
+declare their interest through ``App.subscribed_events``; delivery
+happens inside the application slot of the TTI cycle.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List
+
+from repro.core.controller.registry import RegistryService
+from repro.core.protocol.messages import EventNotification, EventType
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller.northbound import NorthboundApi
+
+
+class EventNotificationService:
+    """Dispatches queued agent events to subscribed applications."""
+
+    def __init__(self, registry: RegistryService) -> None:
+        self._registry = registry
+        self._queue: List[EventNotification] = []
+        self.delivered = 0
+        self.dropped_no_subscriber = 0
+
+    def enqueue(self, events: List[EventNotification]) -> None:
+        """Queue events gathered during the RIB-update slot."""
+        self._queue.extend(events)
+
+    def pending(self) -> int:
+        return len(self._queue)
+
+    def dispatch(self, tti: int, nb: "NorthboundApi") -> int:
+        """Deliver every queued event to its subscribers; returns count."""
+        events, self._queue = self._queue, []
+        count = 0
+        for event in events:
+            try:
+                kind = EventType(event.event_type)
+            except ValueError:
+                kind = None
+            delivered_any = False
+            for reg in self._registry.runnable():
+                if kind is not None and kind in reg.app.subscribed_events:
+                    if nb is not None:
+                        nb.set_current_app(reg.app)
+                    try:
+                        reg.app.on_event(event, tti, nb)
+                    finally:
+                        if nb is not None:
+                            nb.set_current_app(None)
+                    reg.events_delivered += 1
+                    delivered_any = True
+                    count += 1
+            if not delivered_any:
+                self.dropped_no_subscriber += 1
+        self.delivered += count
+        return count

@@ -1,0 +1,181 @@
+"""The FlexRAN Master Controller.
+
+Ties together the components of the paper's Fig. 4: the RIB and its
+single-writer updater, the Task Manager running the TTI cycle, the
+Events Notification Service, the application Registry and the
+northbound API.  The master is deliberately *not* OpenFlow-based --
+radio resources do not fit the flow abstraction and RAN control needs
+per-TTI reaction times (Section 4.3.3).
+
+The master learns the network through the protocol alone: an agent's
+``Hello`` triggers a configuration request, UE attach/detach events
+trigger UE-configuration refreshes, and everything else arrives as
+statistics and event messages applied by the RIB updater.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from typing import Dict, List, Optional
+
+from repro.core.apps.base import App
+from repro.core.controller.events import EventNotificationService
+from repro.core.controller.northbound import NorthboundApi
+from repro.core.controller.registry import RegistryService, Registration
+from repro.core.controller.rib import Rib
+from repro.core.controller.rib_updater import RibUpdater
+from repro.core.controller.task_manager import (
+    DEFAULT_TTI_BUDGET_MS,
+    DEFAULT_UPDATER_SHARE,
+    TaskManager,
+)
+from repro.core.protocol.messages import (
+    EventNotification,
+    EventType,
+    FlexRanMessage,
+    Hello,
+)
+from repro.net.transport import ProtocolEndpoint
+
+logger = logging.getLogger(__name__)
+
+
+ECHO_PERIOD_TTIS = 500
+"""How often the master probes a quiet agent with an EchoRequest."""
+
+LIVENESS_TIMEOUT_TTIS = 1500
+"""Silence threshold after which an agent is declared dead."""
+
+
+class MasterController:
+    """The brain of the FlexRAN control plane."""
+
+    def __init__(self, *, realtime: bool = True,
+                 tti_budget_ms: float = DEFAULT_TTI_BUDGET_MS,
+                 updater_share: float = DEFAULT_UPDATER_SHARE,
+                 echo_period_ttis: int = ECHO_PERIOD_TTIS,
+                 liveness_timeout_ttis: int = LIVENESS_TIMEOUT_TTIS) -> None:
+        self.rib = Rib()
+        self.updater = RibUpdater(self.rib)
+        self.registry = RegistryService()
+        self.events = EventNotificationService(self.registry)
+        self.task_manager = TaskManager(
+            self.registry, self.events, realtime=realtime,
+            tti_budget_ms=tti_budget_ms, updater_share=updater_share)
+        self.northbound = NorthboundApi(self)
+
+        self._endpoints: Dict[int, ProtocolEndpoint] = {}
+        self._xid = 0
+        self.now = 0
+        self.processing_time_s = 0.0
+        if echo_period_ttis <= 0 or liveness_timeout_ttis <= echo_period_ttis:
+            raise ValueError(
+                "liveness timeout must exceed the echo period "
+                f"(got {liveness_timeout_ttis} <= {echo_period_ttis})")
+        self.echo_period_ttis = echo_period_ttis
+        self.liveness_timeout_ttis = liveness_timeout_ttis
+        self._last_echo_sent: Dict[int, int] = {}
+        self.agents_declared_dead = 0
+
+    # -- wiring -----------------------------------------------------------
+
+    def connect_agent(self, agent_id: int, endpoint: ProtocolEndpoint) -> None:
+        """Attach the master side of an agent's control connection."""
+        if agent_id in self._endpoints:
+            raise ValueError(f"agent {agent_id} already connected")
+        self._endpoints[agent_id] = endpoint
+        logger.info("master: agent %d connected", agent_id)
+
+    def disconnect_agent(self, agent_id: int) -> None:
+        self._endpoints.pop(agent_id, None)
+
+    def agent_endpoints(self) -> Dict[int, ProtocolEndpoint]:
+        return dict(self._endpoints)
+
+    def add_app(self, app: App) -> Registration:
+        """Register and start a controller application."""
+        registration = self.registry.register(app)
+        app.on_start(self.northbound)
+        return registration
+
+    def next_xid(self) -> int:
+        self._xid += 1
+        return self._xid
+
+    def send(self, agent_id: int, message: FlexRanMessage) -> None:
+        """Transmit one protocol message to an agent."""
+        try:
+            endpoint = self._endpoints[agent_id]
+        except KeyError:
+            raise KeyError(f"agent {agent_id} is not connected") from None
+        endpoint.send(message, now=self.now)
+
+    # -- the TTI cycle ------------------------------------------------------
+
+    def tick(self, now: int) -> None:
+        """MASTER phase: run one Task Manager cycle."""
+        start = time.perf_counter()
+        self.now = now
+        self.task_manager.cycle(now, self._drain_agents, self.northbound)
+        self.processing_time_s += time.perf_counter() - start
+
+    def _drain_agents(self) -> None:
+        """The RIB-updater slot: apply every received agent message."""
+        gathered: List[EventNotification] = []
+        for agent_id in sorted(self._endpoints):
+            endpoint = self._endpoints[agent_id]
+            messages = endpoint.receive(now=self.now)
+            if messages:
+                self._note_alive(agent_id)
+            for message in messages:
+                gathered.extend(self.updater.apply(agent_id, message, self.now))
+                self._react(agent_id, message)
+        if gathered:
+            self.events.enqueue(gathered)
+        self._check_liveness()
+
+    # -- liveness -----------------------------------------------------------
+
+    def _note_alive(self, agent_id: int) -> None:
+        node = self.rib.get_or_create_agent(agent_id)
+        node.last_heard_tti = self.now
+        if not node.alive:
+            node.alive = True  # the agent came back
+            logger.warning("master: agent %d is reachable again",
+                           agent_id)
+
+    def _check_liveness(self) -> None:
+        """Probe quiet agents; declare dead ones after the timeout."""
+        for agent_id in self.rib.agent_ids():
+            if agent_id not in self._endpoints:
+                continue
+            node = self.rib.agent(agent_id)
+            if node.last_heard_tti < 0:
+                continue
+            silent_for = self.now - node.last_heard_tti
+            last_echo = self._last_echo_sent.get(agent_id, -10 ** 9)
+            if (silent_for >= self.echo_period_ttis
+                    and self.now - last_echo >= self.echo_period_ttis):
+                self.northbound.ping(agent_id)
+                self._last_echo_sent[agent_id] = self.now
+            if node.alive and silent_for >= self.liveness_timeout_ttis:
+                node.alive = False
+                self.agents_declared_dead += 1
+                logger.warning(
+                    "master: agent %d declared dead after %d TTIs of "
+                    "silence", agent_id, silent_for)
+
+    def live_agent_ids(self) -> List[int]:
+        """Agents currently considered reachable."""
+        return [a for a in self.rib.agent_ids() if self.rib.agent(a).alive]
+
+    def _react(self, agent_id: int, message: FlexRanMessage) -> None:
+        """Protocol-level reactions that keep the RIB view current."""
+        if isinstance(message, Hello):
+            self.northbound.request_config(agent_id, scope="enb")
+        elif isinstance(message, EventNotification):
+            if message.event_type in (int(EventType.UE_ATTACH),
+                                      int(EventType.ATTACH_FAILED),
+                                      int(EventType.HANDOVER_COMPLETE)):
+                self.northbound.request_config(agent_id, scope="ues")

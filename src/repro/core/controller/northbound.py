@@ -1,0 +1,241 @@
+"""Northbound API: what controller applications program against.
+
+Applications "monitor the infrastructure through the information
+obtained from the RIB and apply their control decisions through the
+agent control modules" (Section 4.4).  Crucially, apps never mutate
+the RIB: every state change travels as a command to an agent and
+re-enters the RIB through statistics and events -- the indirection of
+the paper's Fig. 5 that keeps the RIB single-writer.
+"""
+
+from __future__ import annotations
+
+import logging
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
+
+from repro.core.controller.conflicts import ConflictOutcome, ConflictResolver
+from repro.core.delegation import pack_vsf
+from repro.core.policy import build_policy
+from repro.core.protocol.messages import (
+    CaCommand,
+    ConfigRequest,
+    DciSpec,
+    DlMacCommand,
+    DrxCommand,
+    EchoRequest,
+    HandoverCommand,
+    Header,
+    PolicyReconfiguration,
+    ReportType,
+    SetConfig,
+    StatsFlags,
+    StatsRequest,
+    UlMacCommand,
+    VsfUpdate,
+)
+from repro.lte.mac.dci import DlAssignment
+
+logger = logging.getLogger(__name__)
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller.master import MasterController
+    from repro.core.controller.rib import Rib
+
+
+@dataclass
+class CommandCounters:
+    """Outbound command volume (debug/monitoring)."""
+
+    dl_commands: int = 0
+    dcis: int = 0
+    policies: int = 0
+    vsf_updates: int = 0
+    stats_requests: int = 0
+    config_ops: int = 0
+    handovers: int = 0
+
+
+class NorthboundApi:
+    """The FlexRAN Application API (currently the only abstraction
+    level: raw RIB access plus typed commands, as in the paper)."""
+
+    def __init__(self, master: "MasterController") -> None:
+        self._master = master
+        self.counters = CommandCounters()
+        #: Arbitration of scheduling commands across applications
+        #: (the Section 7.3 conflict-resolution mechanism).
+        self.conflicts = ConflictResolver()
+        self._current_app_priority = 0
+
+    def set_current_app(self, app) -> None:
+        """Task-Manager hook: attribute commands to the running app."""
+        self._current_app_priority = getattr(app, "priority", 0)
+
+    # -- monitoring (read-only RIB access) --------------------------------
+
+    @property
+    def rib(self) -> "Rib":
+        return self._master.rib
+
+    @property
+    def now(self) -> int:
+        return self._master.now
+
+    def agent_ids(self) -> List[int]:
+        return self.rib.agent_ids()
+
+    def estimated_agent_tti(self, agent_id: int) -> int:
+        """The master's best estimate of an agent's current subframe."""
+        return self.rib.agent(agent_id).estimated_subframe(self._master.now)
+
+    # -- commands ----------------------------------------------------------
+
+    def send_dl_command(self, agent_id: int, cell_id: int, target_tti: int,
+                        assignments: Sequence[Union[DlAssignment, DciSpec]]
+                        ) -> None:
+        """Push one TTI's centralized scheduling decision to an agent."""
+        dcis = [a if isinstance(a, DciSpec)
+                else DciSpec(rnti=a.rnti, n_prb=a.n_prb, cqi_used=a.cqi_used)
+                for a in assignments]
+        outcome, decision = self.conflicts.admit(
+            agent_id, cell_id, target_tti, dcis,
+            n_prb_limit=self._cell_prb_limit(agent_id, cell_id),
+            priority=self._current_app_priority, now=self._master.now)
+        if outcome is ConflictOutcome.DENIED:
+            logger.warning(
+                "conflict resolver denied a scheduling command for "
+                "agent %d cell %d target %d (priority %d)",
+                agent_id, cell_id, target_tti,
+                self._current_app_priority)
+            return
+        self._master.send(agent_id, DlMacCommand(
+            header=self._header(), cell_id=cell_id,
+            target_tti=target_tti, assignments=decision))
+        self.counters.dl_commands += 1
+        self.counters.dcis += len(decision)
+
+    def _cell_prb_limit(self, agent_id: int, cell_id: int) -> Optional[int]:
+        try:
+            cell = self.rib.agent(agent_id).cells.get(cell_id)
+        except KeyError:
+            return None
+        if cell is None or cell.config is None:
+            return None
+        return cell.config.n_prb_dl
+
+    def send_ul_command(self, agent_id: int, cell_id: int, target_tti: int,
+                        grants: Sequence[Union[DlAssignment, DciSpec]]
+                        ) -> None:
+        """Push one TTI's centralized uplink-grant decision."""
+        specs = [g if isinstance(g, DciSpec)
+                 else DciSpec(rnti=g.rnti, n_prb=g.n_prb,
+                              cqi_used=g.cqi_used)
+                 for g in grants]
+        self._master.send(agent_id, UlMacCommand(
+            header=self._header(), cell_id=cell_id,
+            target_tti=target_tti, grants=specs))
+        self.counters.dl_commands += 1
+        self.counters.dcis += len(specs)
+
+    def send_policy(self, agent_id: int, yaml_text: str) -> None:
+        """Send a raw policy reconfiguration document (Fig. 3)."""
+        self._master.send(agent_id, PolicyReconfiguration(
+            header=self._header(), text=yaml_text))
+        self.counters.policies += 1
+
+    def reconfigure_vsf(self, agent_id: int, module: str, vsf: str, *,
+                        behavior: Optional[str] = None,
+                        parameters: Optional[Dict[str, Any]] = None) -> None:
+        """Convenience wrapper building a single-VSF policy document."""
+        self.send_policy(agent_id, build_policy(
+            module, vsf, behavior=behavior, parameters=parameters))
+
+    def push_vsf(self, agent_id: int, module: str, operation: str,
+                 name: str, factory: str,
+                 params: Optional[Dict[str, Any]] = None, *,
+                 pad_to: Optional[int] = None) -> None:
+        """VSF updation: push new code into an agent's VSF cache."""
+        kwargs = {} if pad_to is None else {"pad_to": pad_to}
+        self._master.send(agent_id, VsfUpdate(
+            header=self._header(), module=module, operation=operation,
+            name=name, blob=pack_vsf(factory, params, **kwargs)))
+        self.counters.vsf_updates += 1
+
+    def request_stats(self, agent_id: int, *,
+                      report_type: ReportType = ReportType.PERIODIC,
+                      period_ttis: int = 1,
+                      flags: int = int(StatsFlags.FULL)) -> int:
+        """Subscribe to agent statistics; returns the subscription xid."""
+        header = self._header()
+        self._master.send(agent_id, StatsRequest(
+            header=header, report_type=int(report_type),
+            period_ttis=period_ttis, flags=flags))
+        self.counters.stats_requests += 1
+        return header.xid
+
+    def cancel_stats(self, agent_id: int, xid: int) -> None:
+        self._master.send(agent_id, StatsRequest(
+            header=Header(xid=xid), report_type=int(ReportType.CANCEL)))
+
+    def request_config(self, agent_id: int, scope: str = "enb") -> None:
+        self._master.send(agent_id, ConfigRequest(
+            header=self._header(), scope=scope))
+        self.counters.config_ops += 1
+
+    def set_config(self, agent_id: int, cell_id: int,
+                   entries: Dict[str, str]) -> None:
+        self._master.send(agent_id, SetConfig(
+            header=self._header(), cell_id=cell_id, entries=dict(entries)))
+        self.counters.config_ops += 1
+
+    def set_abs_pattern(self, agent_id: int, cell_id: int,
+                        subframes: Sequence[int]) -> None:
+        """Install an eICIC Almost-Blank Subframe pattern on a cell."""
+        self.set_config(agent_id, cell_id, {
+            "abs_pattern": ",".join(str(s) for s in subframes)})
+
+    def set_bearer_qos(self, agent_id: int, cell_id: int, rnti: int,
+                       lcid: int, qci: int, *,
+                       gbr_mbps: Optional[float] = None) -> None:
+        """Provision a bearer's QoS profile on an agent."""
+        value = f"{rnti}:{lcid}:{qci}"
+        if gbr_mbps is not None:
+            value += f":{int(round(gbr_mbps * 1000))}"
+        self.set_config(agent_id, cell_id, {"bearer_qos": value})
+
+    def enable_sync(self, agent_id: int, enabled: bool = True) -> None:
+        """Turn per-TTI subframe synchronization on or off at an agent."""
+        self.set_config(agent_id, 0, {"sync": "on" if enabled else "off"})
+
+    def send_drx(self, agent_id: int, rnti: int, *,
+                 cycle_ttis: int = 0, on_duration_ttis: int = 0,
+                 inactivity_ttis: int = 0) -> None:
+        """Push a DRX command (cycle 0 disables DRX for the UE)."""
+        self._master.send(agent_id, DrxCommand(
+            header=self._header(), rnti=rnti, cycle_ttis=cycle_ttis,
+            on_duration_ttis=on_duration_ttis,
+            inactivity_ttis=inactivity_ttis))
+        self.counters.config_ops += 1
+
+    def send_scell(self, agent_id: int, rnti: int, scell_id: int,
+                   activate: bool) -> None:
+        """(De)activate a secondary component carrier for a UE."""
+        self._master.send(agent_id, CaCommand(
+            header=self._header(), rnti=rnti, scell_id=scell_id,
+            activate=activate))
+        self.counters.config_ops += 1
+
+    def send_handover(self, agent_id: int, rnti: int, source_cell: int,
+                      target_cell: int) -> None:
+        self._master.send(agent_id, HandoverCommand(
+            header=self._header(), rnti=rnti, source_cell=source_cell,
+            target_cell=target_cell))
+        self.counters.handovers += 1
+
+    def ping(self, agent_id: int) -> None:
+        self._master.send(agent_id, EchoRequest(header=self._header()))
+
+    def _header(self) -> Header:
+        return Header(xid=self._master.next_xid(), tti=self._master.now)

@@ -1,0 +1,145 @@
+"""Task Manager: the master's real-time TTI cycle.
+
+Implements the design of Section 4.3.3: a non-preemptive loop
+"operating in cycles of length equal to a TTI, where each cycle is
+composed of two slots -- one for the execution of the RIB Updater
+(e.g., 20% of the TTI) and the other for the execution of the
+applications as well as the Event Notification Service threads (e.g.,
+80% of the TTI)".  Single-writer/multiple-reader RIB access falls out
+of this slotting: the updater runs alone in its slot, apps only read.
+
+In real-time mode the application slot's budget is enforced: once the
+slot is exhausted, remaining (lower-priority) applications are
+deferred to the next cycle and counted.  In non real-time mode "the
+Task Manager does not enforce a strict duration of the cycle".
+
+Per-cycle wall-clock times of both slots are recorded -- they are the
+"Apps" / "Core Components" / "Idle Time" series of Fig. 8.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, List, Optional
+
+from repro.core.controller.events import EventNotificationService
+from repro.core.controller.registry import RegistryService
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.controller.northbound import NorthboundApi
+
+DEFAULT_TTI_BUDGET_MS = 1.0
+DEFAULT_UPDATER_SHARE = 0.2
+
+
+@dataclass
+class CycleRecord:
+    """Timing of one TTI cycle."""
+
+    tti: int
+    core_ms: float
+    app_ms: float
+    idle_ms: float
+    apps_run: int
+    apps_deferred: int
+    overran: bool
+
+
+@dataclass
+class CycleStats:
+    """Aggregated cycle timings over a run."""
+
+    cycles: int = 0
+    core_ms_total: float = 0.0
+    app_ms_total: float = 0.0
+    idle_ms_total: float = 0.0
+    overruns: int = 0
+    deferred_total: int = 0
+
+    def add(self, record: CycleRecord) -> None:
+        self.cycles += 1
+        self.core_ms_total += record.core_ms
+        self.app_ms_total += record.app_ms
+        self.idle_ms_total += record.idle_ms
+        self.overruns += int(record.overran)
+        self.deferred_total += record.apps_deferred
+
+    @property
+    def mean_core_ms(self) -> float:
+        return self.core_ms_total / self.cycles if self.cycles else 0.0
+
+    @property
+    def mean_app_ms(self) -> float:
+        return self.app_ms_total / self.cycles if self.cycles else 0.0
+
+    @property
+    def mean_idle_ms(self) -> float:
+        return self.idle_ms_total / self.cycles if self.cycles else 0.0
+
+
+class TaskManager:
+    """Runs the two-slot TTI cycle over registry applications."""
+
+    def __init__(self, registry: RegistryService,
+                 events: EventNotificationService, *,
+                 realtime: bool = True,
+                 tti_budget_ms: float = DEFAULT_TTI_BUDGET_MS,
+                 updater_share: float = DEFAULT_UPDATER_SHARE) -> None:
+        if not 0.0 < updater_share < 1.0:
+            raise ValueError(
+                f"updater_share must be in (0, 1), got {updater_share}")
+        if tti_budget_ms <= 0:
+            raise ValueError(
+                f"tti_budget_ms must be positive, got {tti_budget_ms}")
+        self._registry = registry
+        self._events = events
+        self.realtime = realtime
+        self.tti_budget_ms = tti_budget_ms
+        self.updater_share = updater_share
+        self.stats = CycleStats()
+        self.last_record: Optional[CycleRecord] = None
+
+    @property
+    def app_budget_ms(self) -> float:
+        return self.tti_budget_ms * (1.0 - self.updater_share)
+
+    def cycle(self, tti: int, drain_fn: Callable[[], None],
+              nb: "NorthboundApi") -> CycleRecord:
+        """Execute one TTI cycle: updater slot, then application slot."""
+        start = time.perf_counter()
+        drain_fn()  # RIB Updater: the only RIB writer, alone in its slot
+        core_end = time.perf_counter()
+        core_ms = (core_end - start) * 1000.0
+
+        apps_run = 0
+        apps_deferred = 0
+        self._events.dispatch(tti, nb)
+        for reg in self._registry.runnable():
+            if not reg.app.is_due(tti):
+                continue
+            if self.realtime:
+                elapsed_app_ms = (time.perf_counter() - core_end) * 1000.0
+                if elapsed_app_ms > self.app_budget_ms:
+                    apps_deferred += 1
+                    continue
+            if nb is not None:
+                nb.set_current_app(reg.app)
+            try:
+                reg.app.run(tti, nb)
+            finally:
+                if nb is not None:
+                    nb.set_current_app(None)
+            reg.runs += 1
+            apps_run += 1
+        app_ms = (time.perf_counter() - core_end) * 1000.0
+
+        used_ms = core_ms + app_ms
+        record = CycleRecord(
+            tti=tti, core_ms=core_ms, app_ms=app_ms,
+            idle_ms=max(0.0, self.tti_budget_ms - used_ms),
+            apps_run=apps_run, apps_deferred=apps_deferred,
+            overran=used_ms > self.tti_budget_ms)
+        self.stats.add(record)
+        self.last_record = record
+        return record

@@ -1,0 +1,114 @@
+"""High-level RIB views: abstractions over the raw network state.
+
+The paper notes (Section 7.3) that FlexRAN "does not currently employ
+any high-level abstractions in the northbound API and instead reveals
+raw information", and lists introducing such abstractions as future
+work that "could greatly simplify the development of control and
+management applications".  This module provides that layer: derived,
+read-only views over the RIB that answer the questions applications
+actually ask -- how loaded is each cell, how healthy is each UE, where
+is there headroom -- without the app walking the forest itself.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.controller.rib import Rib
+from repro.lte.phy.tbs import capacity_mbps
+
+
+@dataclass(frozen=True)
+class CellLoad:
+    """Aggregate load picture of one cell."""
+
+    agent_id: int
+    cell_id: int
+    n_prb: int
+    connected_ues: int
+    backlog_bytes: int
+    dl_prb_utilization: float  # 0..1, from the last occupancy report
+    mean_cqi: float
+
+    @property
+    def is_congested(self) -> bool:
+        """Heuristic: nearly full PRB usage with standing backlog."""
+        return self.dl_prb_utilization > 0.9 and self.backlog_bytes > 0
+
+
+@dataclass(frozen=True)
+class UeQuality:
+    """Link-quality and service picture of one UE."""
+
+    agent_id: int
+    cell_id: int
+    rnti: int
+    cqi: int
+    queue_bytes: int
+    rx_bytes_total: int
+    estimated_capacity_mbps: float
+    best_neighbor: Optional[Tuple[int, int]]  # (cell_id, cqi)
+
+    @property
+    def handover_candidate(self) -> bool:
+        """A neighbor beats the serving cell by 2+ CQI steps."""
+        return (self.best_neighbor is not None
+                and self.best_neighbor[1] >= self.cqi + 2)
+
+
+def cell_loads(rib: Rib) -> List[CellLoad]:
+    """One :class:`CellLoad` per known cell, deterministic order."""
+    out: List[CellLoad] = []
+    for agent in rib.agents():
+        for cell_id in sorted(agent.cells):
+            cell = agent.cells[cell_id]
+            ues = [cell.ues[r] for r in sorted(cell.ues)]
+            backlog = sum(u.queue_bytes for u in ues)
+            cqis = [u.cqi for u in ues if u.stats is not None]
+            occupancy = 0.0
+            if cell.stats is not None and cell.stats.dl_prb_occupancy:
+                used = sum(cell.stats.dl_prb_occupancy)
+                occupancy = used / len(cell.stats.dl_prb_occupancy)
+            out.append(CellLoad(
+                agent_id=agent.agent_id, cell_id=cell_id,
+                n_prb=cell.n_prb, connected_ues=len(ues),
+                backlog_bytes=backlog,
+                dl_prb_utilization=occupancy,
+                mean_cqi=sum(cqis) / len(cqis) if cqis else 0.0))
+    return out
+
+
+def ue_qualities(rib: Rib) -> List[UeQuality]:
+    """One :class:`UeQuality` per known UE, deterministic order."""
+    out: List[UeQuality] = []
+    for agent, cell, node in rib.all_ues():
+        best: Optional[Tuple[int, int]] = None
+        if node.stats is not None and node.stats.neighbor_cqi:
+            best_cell = max(node.stats.neighbor_cqi,
+                            key=lambda c: (node.stats.neighbor_cqi[c], -c))
+            best = (best_cell, node.stats.neighbor_cqi[best_cell])
+        n_prb = cell.n_prb or 50
+        out.append(UeQuality(
+            agent_id=agent.agent_id, cell_id=cell.cell_id, rnti=node.rnti,
+            cqi=node.cqi, queue_bytes=node.queue_bytes,
+            rx_bytes_total=(node.stats.rx_bytes_total
+                            if node.stats else 0),
+            estimated_capacity_mbps=capacity_mbps(node.cqi, n_prb)
+            if node.cqi > 0 else 0.0,
+            best_neighbor=best))
+    return out
+
+
+def least_loaded_cell(rib: Rib) -> Optional[CellLoad]:
+    """The cell with the most headroom (fewest UEs, least backlog)."""
+    loads = cell_loads(rib)
+    if not loads:
+        return None
+    return min(loads, key=lambda c: (c.connected_ues, c.backlog_bytes,
+                                     c.cell_id))
+
+
+def congested_cells(rib: Rib) -> List[CellLoad]:
+    """Cells currently saturating their carrier with standing queues."""
+    return [c for c in cell_loads(rib) if c.is_congested]

@@ -1,0 +1,334 @@
+"""Policy reconfiguration messages: YAML-subset parser and builder.
+
+Fig. 3 of the paper defines the policy reconfiguration message: a YAML
+document whose top level names a control module, followed by a sequence
+of VSFs to modify, each with optional ``behavior`` (swap the active
+callback) and ``parameters`` (retune the VSF's public API) sections::
+
+    mac:
+      - vsf: dl_scheduling
+        behavior: local_pf
+        parameters:
+          fractions:
+            mno: 0.4
+            mvno: 0.6
+
+PyYAML is not available offline, so this module implements the YAML
+subset those messages need from scratch: block mappings, block
+sequences, scalars (int/float/bool/null/string), nesting by two-space
+indentation and ``#`` comments.  ``dumps`` emits the same subset so the
+master can build policies programmatically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+
+class PolicyParseError(ValueError):
+    """A policy document is not valid (subset-)YAML."""
+
+    def __init__(self, message: str, line_no: Optional[int] = None) -> None:
+        if line_no is not None:
+            message = f"line {line_no}: {message}"
+        super().__init__(message)
+        self.line_no = line_no
+
+
+@dataclass
+class _Line:
+    number: int
+    indent: int
+    content: str
+
+
+def _strip_comment(raw: str) -> str:
+    """Remove a trailing comment (quote-aware for simple cases)."""
+    in_quote: Optional[str] = None
+    for i, ch in enumerate(raw):
+        if in_quote:
+            if ch == in_quote:
+                in_quote = None
+        elif ch in ("'", '"'):
+            in_quote = ch
+        elif ch == "#" and (i == 0 or raw[i - 1] in " \t"):
+            return raw[:i]
+    return raw
+
+
+def _lex(text: str) -> List[_Line]:
+    lines: List[_Line] = []
+    for number, raw in enumerate(text.splitlines(), start=1):
+        if "\t" in raw[:len(raw) - len(raw.lstrip())]:
+            raise PolicyParseError("tabs are not allowed in indentation", number)
+        content = _strip_comment(raw).rstrip()
+        if not content.strip():
+            continue
+        indent = len(content) - len(content.lstrip(" "))
+        lines.append(_Line(number, indent, content.strip()))
+    return lines
+
+
+def _parse_scalar(token: str, line_no: int) -> Any:
+    token = token.strip()
+    if not token:
+        return None
+    if len(token) >= 2 and token[0] == token[-1] and token[0] in ("'", '"'):
+        return token[1:-1]
+    lowered = token.lower()
+    if lowered in ("null", "~"):
+        return None
+    if lowered == "true":
+        return True
+    if lowered == "false":
+        return False
+    try:
+        return int(token)
+    except ValueError:
+        pass
+    try:
+        return float(token)
+    except ValueError:
+        pass
+    if "[" in token or "{" in token:
+        raise PolicyParseError(
+            f"flow-style collections are not supported: {token!r}", line_no)
+    return token
+
+
+def _split_key(content: str, line_no: int) -> Tuple[str, str]:
+    """Split ``key: rest`` handling keys without values."""
+    for i, ch in enumerate(content):
+        if ch == ":" and (i + 1 == len(content) or content[i + 1] in " \t"):
+            key = content[:i].strip()
+            if not key:
+                raise PolicyParseError("empty mapping key", line_no)
+            return key, content[i + 1:].strip()
+    raise PolicyParseError(f"expected 'key: value', got {content!r}", line_no)
+
+
+class _Parser:
+    def __init__(self, lines: List[_Line]) -> None:
+        self._lines = lines
+        self._pos = 0
+
+    def parse(self) -> Any:
+        if not self._lines:
+            return {}
+        value = self._parse_block(self._lines[0].indent)
+        if self._pos != len(self._lines):
+            line = self._lines[self._pos]
+            raise PolicyParseError(
+                f"unexpected dedent/content {line.content!r}", line.number)
+        return value
+
+    def _peek(self) -> Optional[_Line]:
+        return self._lines[self._pos] if self._pos < len(self._lines) else None
+
+    def _parse_block(self, indent: int) -> Any:
+        line = self._peek()
+        if line is None:
+            return None
+        if line.content.startswith("- ") or line.content == "-":
+            return self._parse_sequence(indent)
+        return self._parse_mapping(indent)
+
+    def _parse_mapping(self, indent: int) -> Dict[str, Any]:
+        result: Dict[str, Any] = {}
+        while True:
+            line = self._peek()
+            if line is None or line.indent < indent:
+                return result
+            if line.indent > indent:
+                raise PolicyParseError(
+                    f"unexpected indent for {line.content!r}", line.number)
+            if line.content.startswith("- "):
+                raise PolicyParseError(
+                    "sequence item where a mapping key was expected",
+                    line.number)
+            key, rest = _split_key(line.content, line.number)
+            if key in result:
+                raise PolicyParseError(f"duplicate key {key!r}", line.number)
+            self._pos += 1
+            if rest:
+                result[key] = _parse_scalar(rest, line.number)
+            else:
+                nxt = self._peek()
+                if nxt is not None and nxt.indent > indent:
+                    result[key] = self._parse_block(nxt.indent)
+                else:
+                    result[key] = None
+
+    def _parse_sequence(self, indent: int) -> List[Any]:
+        result: List[Any] = []
+        while True:
+            line = self._peek()
+            if line is None or line.indent < indent:
+                return result
+            if line.indent > indent or not (line.content.startswith("- ")
+                                            or line.content == "-"):
+                raise PolicyParseError(
+                    f"expected sequence item, got {line.content!r}",
+                    line.number)
+            body = line.content[1:].strip()
+            self._pos += 1
+            if not body:
+                nxt = self._peek()
+                if nxt is not None and nxt.indent > indent:
+                    result.append(self._parse_block(nxt.indent))
+                else:
+                    result.append(None)
+                continue
+            if ":" in body:
+                # Item is a mapping whose first entry shares the dash line;
+                # the remaining entries are indented past the dash.
+                key, rest = _split_key(body, line.number)
+                item: Dict[str, Any] = {}
+                if rest:
+                    item[key] = _parse_scalar(rest, line.number)
+                else:
+                    nxt = self._peek()
+                    if nxt is not None and nxt.indent > indent + 2:
+                        item[key] = self._parse_block(nxt.indent)
+                    else:
+                        item[key] = None
+                nxt = self._peek()
+                if nxt is not None and nxt.indent == indent + 2:
+                    more = self._parse_mapping(indent + 2)
+                    for k, v in more.items():
+                        if k in item:
+                            raise PolicyParseError(
+                                f"duplicate key {k!r} in sequence item",
+                                line.number)
+                        item[k] = v
+                result.append(item)
+            else:
+                result.append(_parse_scalar(body, line.number))
+
+
+def parse(text: str) -> Any:
+    """Parse a policy document into dicts/lists/scalars."""
+    return _Parser(_lex(text)).parse()
+
+
+def dumps(value: Any, *, _indent: int = 0) -> str:
+    """Serialize dicts/lists/scalars to the supported YAML subset."""
+    pad = " " * _indent
+    if isinstance(value, dict):
+        if not value:
+            return ""
+        lines = []
+        for key, item in value.items():
+            if isinstance(item, (dict, list)) and item:
+                lines.append(f"{pad}{key}:")
+                lines.append(dumps(item, _indent=_indent + 2))
+            else:
+                lines.append(f"{pad}{key}: {_scalar_str(item)}")
+        return "\n".join(lines)
+    if isinstance(value, list):
+        lines = []
+        for item in value:
+            if isinstance(item, dict) and item:
+                entries = list(item.items())
+                first_key, first_val = entries[0]
+                if isinstance(first_val, (dict, list)) and first_val:
+                    lines.append(f"{pad}- {first_key}:")
+                    lines.append(dumps(first_val, _indent=_indent + 4))
+                else:
+                    lines.append(f"{pad}- {first_key}: {_scalar_str(first_val)}")
+                for key, val in entries[1:]:
+                    if isinstance(val, (dict, list)) and val:
+                        lines.append(f"{pad}  {key}:")
+                        lines.append(dumps(val, _indent=_indent + 4))
+                    else:
+                        lines.append(f"{pad}  {key}: {_scalar_str(val)}")
+            else:
+                lines.append(f"{pad}- {_scalar_str(item)}")
+        return "\n".join(lines)
+    return f"{pad}{_scalar_str(value)}"
+
+
+def _scalar_str(value: Any) -> str:
+    if value is None:
+        return "null"
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, str):
+        needs_quote = (value == "" or value != value.strip()
+                       or any(c in value for c in ":#-[]{}")
+                       or value.lower() in ("true", "false", "null", "~"))
+        return f'"{value}"' if needs_quote else value
+    return str(value)
+
+
+# -- typed view of a policy document -------------------------------------
+
+
+@dataclass
+class VsfPolicy:
+    """One VSF entry of a policy reconfiguration message."""
+
+    vsf: str
+    behavior: Optional[str] = None
+    parameters: Dict[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class PolicyDocument:
+    """Parsed, validated policy reconfiguration (Fig. 3 structure)."""
+
+    modules: Dict[str, List[VsfPolicy]] = field(default_factory=dict)
+
+    @classmethod
+    def from_text(cls, text: str) -> "PolicyDocument":
+        data = parse(text)
+        if not isinstance(data, dict):
+            raise PolicyParseError(
+                "policy document must be a mapping of control modules")
+        modules: Dict[str, List[VsfPolicy]] = {}
+        for module, entries in data.items():
+            if not isinstance(entries, list):
+                raise PolicyParseError(
+                    f"module {module!r} must map to a sequence of VSFs")
+            policies = []
+            for entry in entries:
+                if not isinstance(entry, dict) or "vsf" not in entry:
+                    raise PolicyParseError(
+                        f"each entry of module {module!r} needs a 'vsf' key")
+                unknown = set(entry) - {"vsf", "behavior", "parameters"}
+                if unknown:
+                    raise PolicyParseError(
+                        f"unknown keys in VSF entry: {sorted(unknown)}")
+                params = entry.get("parameters") or {}
+                if not isinstance(params, dict):
+                    raise PolicyParseError(
+                        f"parameters of VSF {entry['vsf']!r} must be a mapping")
+                policies.append(VsfPolicy(
+                    vsf=str(entry["vsf"]),
+                    behavior=entry.get("behavior"),
+                    parameters=params))
+            modules[module] = policies
+        return cls(modules=modules)
+
+    def to_text(self) -> str:
+        data: Dict[str, Any] = {}
+        for module, policies in self.modules.items():
+            entries = []
+            for policy in policies:
+                entry: Dict[str, Any] = {"vsf": policy.vsf}
+                if policy.behavior is not None:
+                    entry["behavior"] = policy.behavior
+                if policy.parameters:
+                    entry["parameters"] = policy.parameters
+                entries.append(entry)
+            data[module] = entries
+        return dumps(data)
+
+
+def build_policy(module: str, vsf: str, *, behavior: Optional[str] = None,
+                 parameters: Optional[Dict[str, Any]] = None) -> str:
+    """Convenience: a single-VSF policy document as YAML text."""
+    doc = PolicyDocument(modules={module: [VsfPolicy(
+        vsf=vsf, behavior=behavior, parameters=dict(parameters or {}))]})
+    return doc.to_text()

@@ -1,0 +1,19 @@
+"""Protocol-level exceptions."""
+
+from __future__ import annotations
+
+
+class ProtocolError(Exception):
+    """Base class for FlexRAN protocol failures."""
+
+
+class DecodeError(ProtocolError):
+    """A wire buffer could not be parsed into a message."""
+
+
+class EncodeError(ProtocolError):
+    """A message could not be serialized (invalid field values)."""
+
+
+class UnknownMessageType(DecodeError):
+    """The buffer announces a message type this peer does not know."""

@@ -1,0 +1,631 @@
+"""FlexRAN protocol messages.
+
+The protocol carries the five interaction classes of the FlexRAN Agent
+API (Table 1 of the paper): configuration, statistics, commands,
+event triggers and control delegation, plus the master--agent subframe
+synchronization used by centralized real-time scheduling.
+
+Each message class declares:
+
+* ``MSG_TYPE`` -- the one-byte wire discriminator;
+* ``CATEGORY`` -- the accounting category used for the signaling
+  breakdowns of Fig. 7 (agent management / sync / stats reporting /
+  master commands);
+* ``encode_payload`` / ``decode_payload`` -- its body serialization.
+
+All messages share a :class:`Header` (agent id, transaction id, TTI
+stamp).  See :mod:`repro.core.protocol.codec` for framing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import ClassVar, Dict, List
+
+from repro.core.protocol.wire import Reader, Writer
+
+
+class Category:
+    """Signaling-accounting categories (the Fig. 7 series names)."""
+
+    AGENT_MANAGEMENT = "agent_management"
+    SYNC = "master_agent_sync"
+    STATS = "stats_reporting"
+    COMMANDS = "master_commands"
+
+
+class ReportType(enum.IntEnum):
+    """Statistics report flavours (Section 4.3.1, Reports & Events)."""
+
+    ONE_OFF = 0
+    PERIODIC = 1
+    TRIGGERED = 2
+    CANCEL = 3
+
+
+class StatsFlags(enum.IntFlag):
+    """Which statistic groups a request subscribes to."""
+
+    QUEUES = 0x01
+    CQI = 0x02
+    HARQ = 0x04
+    RLC = 0x08
+    PDCP = 0x10
+    CELL = 0x20
+    FULL = 0x3F
+
+
+class EventType(enum.IntEnum):
+    """Event-trigger kinds (Table 1)."""
+
+    UE_ATTACH = 0
+    ATTACH_FAILED = 1
+    RANDOM_ACCESS = 2
+    SCHEDULING_REQUEST = 3
+    HANDOVER_COMPLETE = 4
+    TTI_START = 5
+    VSF_FAULT = 6
+
+
+@dataclass
+class Header:
+    """Common message header."""
+
+    agent_id: int = 0
+    xid: int = 0
+    tti: int = 0
+
+    def encode(self, w: Writer) -> None:
+        w.varint(self.agent_id).varint(self.xid).varint(self.tti)
+
+    @classmethod
+    def decode(cls, r: Reader) -> "Header":
+        return cls(agent_id=r.varint(), xid=r.varint(), tti=r.varint())
+
+
+@dataclass
+class FlexRanMessage:
+    """Base class of every protocol message."""
+
+    MSG_TYPE: ClassVar[int] = 0
+    CATEGORY: ClassVar[str] = Category.AGENT_MANAGEMENT
+
+    header: Header = field(default_factory=Header)
+
+    def encode_payload(self, w: Writer) -> None:  # pragma: no cover - default
+        """Serialize the body; default is an empty payload."""
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "FlexRanMessage":
+        return cls(header=header)
+
+
+# -- agent management ---------------------------------------------------
+
+
+@dataclass
+class Hello(FlexRanMessage):
+    """Agent registration announcing its capabilities."""
+
+    MSG_TYPE: ClassVar[int] = 1
+
+    capabilities: List[str] = field(default_factory=list)
+    n_cells: int = 1
+
+    def encode_payload(self, w: Writer) -> None:
+        w.varint(len(self.capabilities))
+        for cap in self.capabilities:
+            w.string(cap)
+        w.varint(self.n_cells)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "Hello":
+        caps = [r.string() for _ in range(r.varint())]
+        return cls(header=header, capabilities=caps, n_cells=r.varint())
+
+
+@dataclass
+class EchoRequest(FlexRanMessage):
+    """Keepalive probe from the master."""
+
+    MSG_TYPE: ClassVar[int] = 2
+
+
+@dataclass
+class EchoReply(FlexRanMessage):
+    """Keepalive answer from the agent."""
+
+    MSG_TYPE: ClassVar[int] = 3
+
+
+@dataclass
+class ConfigRequest(FlexRanMessage):
+    """Synchronous configuration read (Table 1, Configuration)."""
+
+    MSG_TYPE: ClassVar[int] = 4
+
+    scope: str = "enb"  # "enb" | "cells" | "ues"
+
+    def encode_payload(self, w: Writer) -> None:
+        w.string(self.scope)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "ConfigRequest":
+        return cls(header=header, scope=r.string())
+
+
+@dataclass
+class CellConfigRep:
+    """Cell configuration record inside a ConfigReply."""
+
+    cell_id: int = 0
+    n_prb_dl: int = 50
+    n_prb_ul: int = 50
+    band: int = 5
+    antenna_ports: int = 1
+    transmission_mode: int = 1
+
+    def encode(self, w: Writer) -> None:
+        (w.varint(self.cell_id).varint(self.n_prb_dl).varint(self.n_prb_ul)
+         .varint(self.band).varint(self.antenna_ports)
+         .varint(self.transmission_mode))
+
+    @classmethod
+    def decode(cls, r: Reader) -> "CellConfigRep":
+        return cls(cell_id=r.varint(), n_prb_dl=r.varint(),
+                   n_prb_ul=r.varint(), band=r.varint(),
+                   antenna_ports=r.varint(), transmission_mode=r.varint())
+
+
+@dataclass
+class UeConfigRep:
+    """UE configuration record inside a ConfigReply."""
+
+    rnti: int = 0
+    imsi: str = ""
+    cell_id: int = 0
+    labels: Dict[str, str] = field(default_factory=dict)
+
+    def encode(self, w: Writer) -> None:
+        w.varint(self.rnti).string(self.imsi).varint(self.cell_id)
+        w.str_map(self.labels)
+
+    @classmethod
+    def decode(cls, r: Reader) -> "UeConfigRep":
+        return cls(rnti=r.varint(), imsi=r.string(), cell_id=r.varint(),
+                   labels=r.str_map())
+
+
+@dataclass
+class ConfigReply(FlexRanMessage):
+    """Full eNodeB configuration snapshot."""
+
+    MSG_TYPE: ClassVar[int] = 5
+
+    enb_id: int = 0
+    cells: List[CellConfigRep] = field(default_factory=list)
+    ues: List[UeConfigRep] = field(default_factory=list)
+
+    def encode_payload(self, w: Writer) -> None:
+        w.varint(self.enb_id)
+        w.varint(len(self.cells))
+        for cell in self.cells:
+            cell.encode(w)
+        w.varint(len(self.ues))
+        for ue in self.ues:
+            ue.encode(w)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "ConfigReply":
+        enb_id = r.varint()
+        cells = [CellConfigRep.decode(r) for _ in range(r.varint())]
+        ues = [UeConfigRep.decode(r) for _ in range(r.varint())]
+        return cls(header=header, enb_id=enb_id, cells=cells, ues=ues)
+
+
+@dataclass
+class SetConfig(FlexRanMessage):
+    """Synchronous configuration write (e.g. install an ABS pattern)."""
+
+    MSG_TYPE: ClassVar[int] = 6
+    CATEGORY: ClassVar[str] = Category.COMMANDS
+
+    cell_id: int = 0
+    entries: Dict[str, str] = field(default_factory=dict)
+
+    def encode_payload(self, w: Writer) -> None:
+        w.varint(self.cell_id)
+        w.str_map(self.entries)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "SetConfig":
+        return cls(header=header, cell_id=r.varint(), entries=r.str_map())
+
+
+@dataclass
+class StatsRequest(FlexRanMessage):
+    """Asynchronous statistics subscription (one-off/periodic/triggered)."""
+
+    MSG_TYPE: ClassVar[int] = 7
+
+    report_type: int = int(ReportType.ONE_OFF)
+    period_ttis: int = 1
+    flags: int = int(StatsFlags.FULL)
+
+    def encode_payload(self, w: Writer) -> None:
+        w.varint(self.report_type).varint(self.period_ttis).varint(self.flags)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "StatsRequest":
+        return cls(header=header, report_type=r.varint(),
+                   period_ttis=r.varint(), flags=r.varint())
+
+
+# -- statistics reporting -----------------------------------------------
+
+
+@dataclass
+class UeStatsReport:
+    """Per-UE statistics record (the bulk of agent-to-master traffic).
+
+    Mirrors the statistics the paper's agent streams at TTI granularity:
+    buffer status per logical channel, wideband and per-subband CQI,
+    HARQ process states, RLC/PDCP counters and power headroom.
+    """
+
+    rnti: int = 0
+    queues: Dict[int, int] = field(default_factory=dict)
+    wb_cqi: int = 0
+    wb_cqi_clear: int = 0
+    subband_cqi: List[int] = field(default_factory=list)
+    subband_sinr_db_x10: List[int] = field(default_factory=list)
+    harq_states: List[int] = field(default_factory=list)
+    ul_buffer_bytes: int = 0
+    power_headroom_db: int = 0
+    rlc_bytes_in: int = 0
+    rlc_bytes_out: int = 0
+    pdcp_tx_bytes: int = 0
+    pdcp_rx_bytes: int = 0
+    rx_bytes_total: int = 0
+    rrc_state: int = 0
+    neighbor_cqi: Dict[int, int] = field(default_factory=dict)
+
+    def encode(self, w: Writer) -> None:
+        w.varint(self.rnti)
+        w.int_map(self.queues)
+        w.byte(self.wb_cqi).byte(self.wb_cqi_clear)
+        w.varint_list(self.subband_cqi)
+        w.svarint_list(self.subband_sinr_db_x10)
+        w.varint_list(self.harq_states)
+        w.varint(self.ul_buffer_bytes)
+        w.varint(self.power_headroom_db)
+        w.varint(self.rlc_bytes_in).varint(self.rlc_bytes_out)
+        w.varint(self.pdcp_tx_bytes).varint(self.pdcp_rx_bytes)
+        w.varint(self.rx_bytes_total)
+        w.byte(self.rrc_state)
+        w.int_map(self.neighbor_cqi)
+
+    @classmethod
+    def decode(cls, r: Reader) -> "UeStatsReport":
+        return cls(
+            rnti=r.varint(), queues=r.int_map(), wb_cqi=r.byte(),
+            wb_cqi_clear=r.byte(), subband_cqi=r.varint_list(),
+            subband_sinr_db_x10=r.svarint_list(),
+            harq_states=r.varint_list(), ul_buffer_bytes=r.varint(),
+            power_headroom_db=r.varint(), rlc_bytes_in=r.varint(),
+            rlc_bytes_out=r.varint(), pdcp_tx_bytes=r.varint(),
+            pdcp_rx_bytes=r.varint(), rx_bytes_total=r.varint(),
+            rrc_state=r.byte(), neighbor_cqi=r.int_map())
+
+
+@dataclass
+class CellStatsReport:
+    """Per-cell aggregate statistics record."""
+
+    cell_id: int = 0
+    n_prb: int = 0
+    connected_ues: int = 0
+    tb_ok: int = 0
+    tb_err: int = 0
+    dl_bytes: int = 0
+    noise_interference_per_prb_x10: List[int] = field(default_factory=list)
+    # Cell-wide air-interface occupancy, reported per PRB each TTI as
+    # OAI's agent does; fixed-size content that amortizes over UEs and
+    # contributes to Fig. 7a's sublinear growth.
+    dl_prb_occupancy: List[int] = field(default_factory=list)
+    ul_prb_occupancy: List[int] = field(default_factory=list)
+
+    def encode(self, w: Writer) -> None:
+        (w.varint(self.cell_id).varint(self.n_prb).varint(self.connected_ues)
+         .varint(self.tb_ok).varint(self.tb_err).varint(self.dl_bytes))
+        w.svarint_list(self.noise_interference_per_prb_x10)
+        w.varint_list(self.dl_prb_occupancy)
+        w.varint_list(self.ul_prb_occupancy)
+
+    @classmethod
+    def decode(cls, r: Reader) -> "CellStatsReport":
+        return cls(cell_id=r.varint(), n_prb=r.varint(),
+                   connected_ues=r.varint(), tb_ok=r.varint(),
+                   tb_err=r.varint(), dl_bytes=r.varint(),
+                   noise_interference_per_prb_x10=r.svarint_list(),
+                   dl_prb_occupancy=r.varint_list(),
+                   ul_prb_occupancy=r.varint_list())
+
+
+@dataclass
+class StatsReply(FlexRanMessage):
+    """Aggregated statistics report from an agent.
+
+    One message carries *all* UE reports of an eNodeB ("aggregation of
+    relevant information in the FlexRAN protocol messages, e.g. list of
+    UE status reports"), which is what makes agent-to-master signaling
+    grow sublinearly with UE count (Fig. 7a).
+    """
+
+    MSG_TYPE: ClassVar[int] = 8
+    CATEGORY: ClassVar[str] = Category.STATS
+
+    report_type: int = int(ReportType.PERIODIC)
+    ue_reports: List[UeStatsReport] = field(default_factory=list)
+    cell_reports: List[CellStatsReport] = field(default_factory=list)
+
+    def encode_payload(self, w: Writer) -> None:
+        w.byte(self.report_type)
+        w.varint(len(self.ue_reports))
+        for rep in self.ue_reports:
+            rep.encode(w)
+        w.varint(len(self.cell_reports))
+        for rep in self.cell_reports:
+            rep.encode(w)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "StatsReply":
+        report_type = r.byte()
+        ues = [UeStatsReport.decode(r) for _ in range(r.varint())]
+        cells = [CellStatsReport.decode(r) for _ in range(r.varint())]
+        return cls(header=header, report_type=report_type,
+                   ue_reports=ues, cell_reports=cells)
+
+
+# -- synchronization ----------------------------------------------------
+
+
+@dataclass
+class SubframeTrigger(FlexRanMessage):
+    """Per-TTI subframe indication keeping the master in sync.
+
+    The master's view of the agent subframe "is always outdated by an
+    offset equal to half the RTT delay" (Section 5.3) -- exactly what
+    this message's propagation through the emulated link produces.
+    """
+
+    MSG_TYPE: ClassVar[int] = 9
+    CATEGORY: ClassVar[str] = Category.SYNC
+
+    sfn: int = 0
+    sf: int = 0
+
+    def encode_payload(self, w: Writer) -> None:
+        w.varint(self.sfn).byte(self.sf)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "SubframeTrigger":
+        return cls(header=header, sfn=r.varint(), sf=r.byte())
+
+
+# -- event triggers -----------------------------------------------------
+
+
+@dataclass
+class EventNotification(FlexRanMessage):
+    """Asynchronous data-plane event pushed to the master (Table 1)."""
+
+    MSG_TYPE: ClassVar[int] = 10
+
+    event_type: int = int(EventType.UE_ATTACH)
+    rnti: int = 0
+    cell_id: int = 0
+    details: Dict[str, str] = field(default_factory=dict)
+
+    def encode_payload(self, w: Writer) -> None:
+        w.byte(self.event_type).varint(self.rnti).varint(self.cell_id)
+        w.str_map(self.details)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "EventNotification":
+        return cls(header=header, event_type=r.byte(), rnti=r.varint(),
+                   cell_id=r.varint(), details=r.str_map())
+
+
+# -- commands -----------------------------------------------------------
+
+
+@dataclass
+class DciSpec:
+    """Wire form of one downlink scheduling decision."""
+
+    rnti: int = 0
+    n_prb: int = 0
+    cqi_used: int = 0
+
+    def encode(self, w: Writer) -> None:
+        w.varint(self.rnti).varint(self.n_prb).byte(self.cqi_used)
+
+    @classmethod
+    def decode(cls, r: Reader) -> "DciSpec":
+        return cls(rnti=r.varint(), n_prb=r.varint(), cqi_used=r.byte())
+
+
+@dataclass
+class DlMacCommand(FlexRanMessage):
+    """Centralized scheduling decision for one cell and target TTI."""
+
+    MSG_TYPE: ClassVar[int] = 11
+    CATEGORY: ClassVar[str] = Category.COMMANDS
+
+    cell_id: int = 0
+    target_tti: int = 0
+    assignments: List[DciSpec] = field(default_factory=list)
+
+    def encode_payload(self, w: Writer) -> None:
+        w.varint(self.cell_id).varint(self.target_tti)
+        w.varint(len(self.assignments))
+        for dci in self.assignments:
+            dci.encode(w)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "DlMacCommand":
+        cell_id = r.varint()
+        target = r.varint()
+        dcis = [DciSpec.decode(r) for _ in range(r.varint())]
+        return cls(header=header, cell_id=cell_id, target_tti=target,
+                   assignments=dcis)
+
+
+@dataclass
+class UlMacCommand(FlexRanMessage):
+    """Centralized uplink-grant decision for one cell and target TTI."""
+
+    MSG_TYPE: ClassVar[int] = 17
+    CATEGORY: ClassVar[str] = Category.COMMANDS
+
+    cell_id: int = 0
+    target_tti: int = 0
+    grants: List[DciSpec] = field(default_factory=list)
+
+    def encode_payload(self, w: Writer) -> None:
+        w.varint(self.cell_id).varint(self.target_tti)
+        w.varint(len(self.grants))
+        for grant in self.grants:
+            grant.encode(w)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "UlMacCommand":
+        cell_id = r.varint()
+        target = r.varint()
+        grants = [DciSpec.decode(r) for _ in range(r.varint())]
+        return cls(header=header, cell_id=cell_id, target_tti=target,
+                   grants=grants)
+
+
+@dataclass
+class HandoverCommand(FlexRanMessage):
+    """Mobility control decision: move a UE to another cell."""
+
+    MSG_TYPE: ClassVar[int] = 12
+    CATEGORY: ClassVar[str] = Category.COMMANDS
+
+    rnti: int = 0
+    source_cell: int = 0
+    target_cell: int = 0
+
+    def encode_payload(self, w: Writer) -> None:
+        w.varint(self.rnti).varint(self.source_cell).varint(self.target_cell)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "HandoverCommand":
+        return cls(header=header, rnti=r.varint(), source_cell=r.varint(),
+                   target_cell=r.varint())
+
+
+# -- control delegation -------------------------------------------------
+
+
+@dataclass
+class VsfUpdate(FlexRanMessage):
+    """Push new VSF code to the agent cache (Section 4.3.1).
+
+    ``blob`` stands in for the compiled shared library of the paper's
+    implementation: on this platform it is a serialized constructor
+    spec the agent's loader instantiates (see
+    :mod:`repro.core.delegation`), padded to a representative size.
+    """
+
+    MSG_TYPE: ClassVar[int] = 13
+
+    module: str = ""
+    operation: str = ""
+    name: str = ""
+    blob: bytes = b""
+
+    def encode_payload(self, w: Writer) -> None:
+        w.string(self.module).string(self.operation).string(self.name)
+        w.blob(self.blob)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "VsfUpdate":
+        return cls(header=header, module=r.string(), operation=r.string(),
+                   name=r.string(), blob=r.blob())
+
+
+@dataclass
+class PolicyReconfiguration(FlexRanMessage):
+    """Swap VSFs / retune their parameters, in YAML (Fig. 3)."""
+
+    MSG_TYPE: ClassVar[int] = 14
+
+    text: str = ""
+
+    def encode_payload(self, w: Writer) -> None:
+        w.string(self.text)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "PolicyReconfiguration":
+        return cls(header=header, text=r.string())
+
+
+@dataclass
+class DrxCommand(FlexRanMessage):
+    """DRX control decision for one UE (Table 1, Commands).
+
+    ``cycle_ttis == 0`` disables DRX.
+    """
+
+    MSG_TYPE: ClassVar[int] = 15
+    CATEGORY: ClassVar[str] = Category.COMMANDS
+
+    rnti: int = 0
+    cycle_ttis: int = 0
+    on_duration_ttis: int = 0
+    inactivity_ttis: int = 0
+
+    def encode_payload(self, w: Writer) -> None:
+        (w.varint(self.rnti).varint(self.cycle_ttis)
+         .varint(self.on_duration_ttis).varint(self.inactivity_ttis))
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "DrxCommand":
+        return cls(header=header, rnti=r.varint(), cycle_ttis=r.varint(),
+                   on_duration_ttis=r.varint(), inactivity_ttis=r.varint())
+
+
+@dataclass
+class CaCommand(FlexRanMessage):
+    """(De)activate a secondary component carrier for one UE."""
+
+    MSG_TYPE: ClassVar[int] = 16
+    CATEGORY: ClassVar[str] = Category.COMMANDS
+
+    rnti: int = 0
+    scell_id: int = 0
+    activate: bool = True
+
+    def encode_payload(self, w: Writer) -> None:
+        w.varint(self.rnti).varint(self.scell_id)
+        w.byte(1 if self.activate else 0)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "CaCommand":
+        return cls(header=header, rnti=r.varint(), scell_id=r.varint(),
+                   activate=bool(r.byte()))
+
+
+MESSAGE_TYPES = {
+    cls.MSG_TYPE: cls for cls in (
+        Hello, EchoRequest, EchoReply, ConfigRequest, ConfigReply, SetConfig,
+        StatsRequest, StatsReply, SubframeTrigger, EventNotification,
+        DlMacCommand, HandoverCommand, VsfUpdate, PolicyReconfiguration,
+        DrxCommand, CaCommand, UlMacCommand)
+}
+"""Wire discriminator -> message class registry."""

@@ -1,0 +1,172 @@
+"""Low-level wire primitives: varints, strings, maps.
+
+The paper serializes FlexRAN protocol messages with Google Protocol
+Buffers and credits "their optimized serialization" for the sublinear
+signaling growth of Fig. 7a.  Protobuf is not available offline, so the
+reproduction implements the same family of primitives from scratch:
+LEB128 varints, length-prefixed UTF-8 strings and byte blobs, and
+homogeneous collections.  Wire sizes are therefore directly comparable
+to a protobuf encoding of the same data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Tuple
+
+from repro.core.protocol.errors import DecodeError, EncodeError
+
+_MAX_VARINT_BYTES = 10
+
+
+class Writer:
+    """Append-only wire buffer."""
+
+    def __init__(self) -> None:
+        self._parts = bytearray()
+
+    def varint(self, value: int) -> "Writer":
+        """Append an unsigned LEB128 varint."""
+        if value < 0:
+            raise EncodeError(f"varint cannot encode negative value {value}")
+        while True:
+            byte = value & 0x7F
+            value >>= 7
+            if value:
+                self._parts.append(byte | 0x80)
+            else:
+                self._parts.append(byte)
+                return self
+
+    def svarint(self, value: int) -> "Writer":
+        """Append a signed integer using zigzag encoding."""
+        return self.varint((value << 1) ^ (value >> 63) if value < 0
+                           else value << 1)
+
+    def byte(self, value: int) -> "Writer":
+        if not 0 <= value <= 0xFF:
+            raise EncodeError(f"byte out of range: {value}")
+        self._parts.append(value)
+        return self
+
+    def string(self, text: str) -> "Writer":
+        data = text.encode("utf-8")
+        self.varint(len(data))
+        self._parts.extend(data)
+        return self
+
+    def blob(self, data: bytes) -> "Writer":
+        self.varint(len(data))
+        self._parts.extend(data)
+        return self
+
+    def varint_list(self, values: Iterable[int]) -> "Writer":
+        items = list(values)
+        self.varint(len(items))
+        for v in items:
+            self.varint(v)
+        return self
+
+    def svarint_list(self, values: Iterable[int]) -> "Writer":
+        items = list(values)
+        self.varint(len(items))
+        for v in items:
+            self.svarint(v)
+        return self
+
+    def int_map(self, mapping: Dict[int, int]) -> "Writer":
+        self.varint(len(mapping))
+        for key in sorted(mapping):
+            self.varint(key)
+            self.varint(mapping[key])
+        return self
+
+    def str_map(self, mapping: Dict[str, str]) -> "Writer":
+        self.varint(len(mapping))
+        for key in sorted(mapping):
+            self.string(key)
+            self.string(mapping[key])
+        return self
+
+    def getvalue(self) -> bytes:
+        return bytes(self._parts)
+
+    def __len__(self) -> int:
+        return len(self._parts)
+
+
+class Reader:
+    """Sequential wire-buffer reader."""
+
+    def __init__(self, data: bytes) -> None:
+        self._data = data
+        self._pos = 0
+
+    @property
+    def remaining(self) -> int:
+        return len(self._data) - self._pos
+
+    def varint(self) -> int:
+        result = 0
+        shift = 0
+        for _ in range(_MAX_VARINT_BYTES):
+            if self._pos >= len(self._data):
+                raise DecodeError("truncated varint")
+            byte = self._data[self._pos]
+            self._pos += 1
+            result |= (byte & 0x7F) << shift
+            if not byte & 0x80:
+                return result
+            shift += 7
+        raise DecodeError("varint longer than 10 bytes")
+
+    def svarint(self) -> int:
+        raw = self.varint()
+        return (raw >> 1) ^ -(raw & 1)
+
+    def byte(self) -> int:
+        if self._pos >= len(self._data):
+            raise DecodeError("truncated byte")
+        value = self._data[self._pos]
+        self._pos += 1
+        return value
+
+    def string(self) -> str:
+        return self._take(self.varint()).decode("utf-8")
+
+    def blob(self) -> bytes:
+        return self._take(self.varint())
+
+    def varint_list(self) -> List[int]:
+        return [self.varint() for _ in range(self.varint())]
+
+    def svarint_list(self) -> List[int]:
+        return [self.svarint() for _ in range(self.varint())]
+
+    def int_map(self) -> Dict[int, int]:
+        return {self.varint(): self.varint() for _ in range(self.varint())}
+
+    def str_map(self) -> Dict[str, str]:
+        return {self.string(): self.string() for _ in range(self.varint())}
+
+    def expect_end(self) -> None:
+        if self.remaining:
+            raise DecodeError(f"{self.remaining} trailing bytes after message")
+
+    def _take(self, n: int) -> bytes:
+        if n > self.remaining:
+            raise DecodeError(
+                f"truncated field: need {n} bytes, have {self.remaining}")
+        out = self._data[self._pos:self._pos + n]
+        self._pos += n
+        return out
+
+
+def varint_size(value: int) -> int:
+    """Encoded size of an unsigned varint, in bytes."""
+    if value < 0:
+        raise EncodeError(f"varint cannot encode negative value {value}")
+    size = 1
+    while value >= 0x80:
+        value >>= 7
+        size += 1
+    return size

@@ -1,0 +1,15 @@
+"""LTE data-plane substrate: PHY abstraction, MAC, RLC, PDCP, RRC."""
+
+from repro.lte.cell import Cell, CellConfig
+from repro.lte.enodeb import EnbEvent, EnbEventType, EnodeB
+from repro.lte.ue import RateMeter, Ue
+
+__all__ = [
+    "Cell",
+    "CellConfig",
+    "EnbEvent",
+    "EnbEventType",
+    "EnodeB",
+    "RateMeter",
+    "Ue",
+]

@@ -1,0 +1,47 @@
+"""MAC layer: scheduling decisions, queues, HARQ, link adaptation."""
+
+from repro.lte.mac.dci import (
+    DlAssignment,
+    PendingRetx,
+    SchedulingContext,
+    UeView,
+    UlGrant,
+    validate_allocation,
+)
+from repro.lte.mac.drx import DrxConfig, DrxManager, DrxState
+from repro.lte.mac.qos import QCI_TABLE, QosProfile, QosScheduler
+from repro.lte.mac.schedulers import (
+    FairShareScheduler,
+    GroupScheduler,
+    MaxCqiScheduler,
+    NullScheduler,
+    ProportionalFairScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    SlicedScheduler,
+    make_scheduler,
+)
+
+__all__ = [
+    "DlAssignment",
+    "PendingRetx",
+    "SchedulingContext",
+    "UeView",
+    "UlGrant",
+    "validate_allocation",
+    "DrxConfig",
+    "DrxManager",
+    "DrxState",
+    "QCI_TABLE",
+    "QosProfile",
+    "QosScheduler",
+    "FairShareScheduler",
+    "GroupScheduler",
+    "MaxCqiScheduler",
+    "NullScheduler",
+    "ProportionalFairScheduler",
+    "RoundRobinScheduler",
+    "Scheduler",
+    "SlicedScheduler",
+    "make_scheduler",
+]

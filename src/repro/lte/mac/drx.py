@@ -1,0 +1,105 @@
+"""Discontinuous reception (DRX): UE sleep cycles under MAC control.
+
+"Applying DRX commands" is one of the data-plane *actions* the paper's
+Table 1 delegates to the eNodeB (the decision belongs to the control
+plane).  The model implements connected-mode DRX as 36.321 abstracts
+it: a UE with DRX enabled listens only during the on-duration at the
+start of each DRX cycle, plus an inactivity window after any downlink
+activity; while asleep it cannot be scheduled.  Awake-time accounting
+gives the energy proxy the energy-saving application optimizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class DrxConfig:
+    """Connected-mode DRX parameters (36.331 subset)."""
+
+    cycle_ttis: int = 80
+    on_duration_ttis: int = 8
+    inactivity_ttis: int = 10
+
+    def __post_init__(self) -> None:
+        if self.cycle_ttis <= 0:
+            raise ValueError(f"DRX cycle must be positive, got "
+                             f"{self.cycle_ttis}")
+        if not 0 < self.on_duration_ttis <= self.cycle_ttis:
+            raise ValueError(
+                f"on-duration must be in (0, cycle]; got "
+                f"{self.on_duration_ttis} for cycle {self.cycle_ttis}")
+        if self.inactivity_ttis < 0:
+            raise ValueError(f"inactivity timer must be >= 0, got "
+                             f"{self.inactivity_ttis}")
+
+
+@dataclass
+class DrxState:
+    """Runtime DRX state of one UE."""
+
+    config: Optional[DrxConfig] = None
+    last_activity_tti: int = -10 ** 9
+    awake_ttis: int = 0
+    asleep_ttis: int = 0
+
+    @property
+    def enabled(self) -> bool:
+        return self.config is not None
+
+    def is_awake(self, tti: int) -> bool:
+        """Whether the UE listens to the PDCCH at *tti*."""
+        if self.config is None:
+            return True
+        if tti - self.last_activity_tti <= self.config.inactivity_ttis:
+            return True  # inactivity timer keeps the UE awake
+        return (tti % self.config.cycle_ttis) < self.config.on_duration_ttis
+
+    def note_activity(self, tti: int) -> None:
+        """Downlink assignment addressed this UE: restart inactivity."""
+        self.last_activity_tti = tti
+
+    def account(self, tti: int) -> None:
+        """Per-TTI awake/asleep accounting (the energy proxy)."""
+        if self.is_awake(tti):
+            self.awake_ttis += 1
+        else:
+            self.asleep_ttis += 1
+
+    def awake_fraction(self) -> float:
+        total = self.awake_ttis + self.asleep_ttis
+        return self.awake_ttis / total if total else 1.0
+
+
+class DrxManager:
+    """DRX state of every UE of one eNodeB."""
+
+    def __init__(self) -> None:
+        self._states: Dict[int, DrxState] = {}
+
+    def state(self, rnti: int) -> DrxState:
+        if rnti not in self._states:
+            self._states[rnti] = DrxState()
+        return self._states[rnti]
+
+    def configure(self, rnti: int, config: Optional[DrxConfig]) -> None:
+        """Enable (or, with ``None``, disable) DRX for a UE."""
+        self.state(rnti).config = config
+
+    def is_awake(self, rnti: int, tti: int) -> bool:
+        return self.state(rnti).is_awake(tti)
+
+    def note_activity(self, rnti: int, tti: int) -> None:
+        self.state(rnti).note_activity(tti)
+
+    def account_all(self, tti: int) -> None:
+        for state in self._states.values():
+            state.account(tti)
+
+    def remove(self, rnti: int) -> None:
+        self._states.pop(rnti, None)
+
+    def enabled_rntis(self) -> List[int]:
+        return sorted(r for r, s in self._states.items() if s.enabled)

@@ -1,0 +1,34 @@
+"""PHY abstraction: channel models, CQI mapping, transport block sizing."""
+
+from repro.lte.phy.channel import (
+    ChannelModel,
+    FixedCqi,
+    FixedSinr,
+    GaussMarkovSinr,
+    InterferenceChannel,
+    PathlossChannel,
+    SquareWaveCqi,
+    TraceCqi,
+    channel_for_cqi,
+)
+from repro.lte.phy.cqi import clamp_cqi, cqi_to_sinr_floor, sinr_to_cqi, validate_cqi
+from repro.lte.phy.tbs import capacity_mbps, prbs_needed, transport_block_bits
+
+__all__ = [
+    "ChannelModel",
+    "FixedCqi",
+    "FixedSinr",
+    "GaussMarkovSinr",
+    "InterferenceChannel",
+    "PathlossChannel",
+    "SquareWaveCqi",
+    "TraceCqi",
+    "channel_for_cqi",
+    "clamp_cqi",
+    "cqi_to_sinr_floor",
+    "sinr_to_cqi",
+    "validate_cqi",
+    "capacity_mbps",
+    "prbs_needed",
+    "transport_block_bits",
+]

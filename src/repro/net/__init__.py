@@ -1,0 +1,5 @@
+"""Control-channel substrate: simulation clock, emulated links, transport."""
+
+from repro.net.clock import Phase, SimClock
+
+__all__ = ["Phase", "SimClock"]

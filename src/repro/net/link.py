@@ -1,0 +1,160 @@
+"""Emulated master--agent control channel with latency and accounting.
+
+The paper evaluates FlexRAN over dedicated Gigabit Ethernet and then
+degrades the channel with ``netem`` to study latency effects
+(Section 5.3).  :class:`EmulatedLink` reproduces that: a unidirectional
+FIFO with configurable one-way latency (settable at runtime, like
+``tc netem delay``) and per-category byte/message counters, which are
+the raw data behind the signaling-overhead breakdowns of Fig. 7
+("agent management" / "master-agent sync" / "stats reporting" /
+"master commands").
+"""
+
+from __future__ import annotations
+
+import heapq
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.net.clock import TTI_MS
+
+
+@dataclass
+class CategoryCounter:
+    """Byte and message counters for one traffic category."""
+
+    messages: int = 0
+    bytes: int = 0
+
+    def add(self, nbytes: int) -> None:
+        self.messages += 1
+        self.bytes += nbytes
+
+
+@dataclass(order=True)
+class _Transit:
+    deliver_tti: int
+    seq: int
+    payload: Any = field(compare=False)
+    size_bytes: int = field(compare=False, default=0)
+    category: str = field(compare=False, default="default")
+
+
+class EmulatedLink:
+    """One direction of the control channel.
+
+    Messages are enqueued with :meth:`send` and become available via
+    :meth:`deliver_due` once their latency has elapsed.  FIFO order is
+    preserved among messages with equal delivery time (TCP semantics --
+    the paper's transport).
+    """
+
+    def __init__(self, *, one_way_latency_ms: float = 0.0,
+                 name: str = "link") -> None:
+        self.name = name
+        self._latency_ttis = self._to_ttis(one_way_latency_ms)
+        self._queue: List[_Transit] = []
+        self._seq = 0
+        self.counters: Dict[str, CategoryCounter] = {}
+        self.total_bytes = 0
+        self.total_messages = 0
+        self._first_send_tti: Optional[int] = None
+        self._last_send_tti = 0
+
+    @staticmethod
+    def _to_ttis(latency_ms: float) -> int:
+        if latency_ms < 0:
+            raise ValueError(f"latency must be >= 0, got {latency_ms}")
+        return int(math.ceil(latency_ms / TTI_MS))
+
+    @property
+    def one_way_latency_ttis(self) -> int:
+        return self._latency_ttis
+
+    def set_latency_ms(self, latency_ms: float) -> None:
+        """Change the link latency at runtime (the netem knob)."""
+        self._latency_ttis = self._to_ttis(latency_ms)
+
+    def send(self, payload: Any, size_bytes: int, *, now: int,
+             category: str = "default") -> int:
+        """Enqueue *payload*; returns its delivery TTI."""
+        if size_bytes < 0:
+            raise ValueError(f"size must be >= 0, got {size_bytes}")
+        deliver = now + self._latency_ttis
+        heapq.heappush(self._queue, _Transit(
+            deliver_tti=deliver, seq=self._seq, payload=payload,
+            size_bytes=size_bytes, category=category))
+        self._seq += 1
+        self.counters.setdefault(category, CategoryCounter()).add(size_bytes)
+        self.total_bytes += size_bytes
+        self.total_messages += 1
+        if self._first_send_tti is None:
+            self._first_send_tti = now
+        self._last_send_tti = now
+        return deliver
+
+    def deliver_due(self, now: int) -> List[Any]:
+        """Pop every message whose delivery time has arrived."""
+        out: List[Any] = []
+        while self._queue and self._queue[0].deliver_tti <= now:
+            out.append(heapq.heappop(self._queue).payload)
+        return out
+
+    def in_flight(self) -> int:
+        """Messages currently traversing the link."""
+        return len(self._queue)
+
+    # -- accounting -------------------------------------------------------
+
+    def category_bytes(self, category: str) -> int:
+        counter = self.counters.get(category)
+        return counter.bytes if counter else 0
+
+    def category_mbps(self, category: str, elapsed_ttis: int) -> float:
+        """Average signaling rate of one category over a run, Mb/s."""
+        if elapsed_ttis <= 0:
+            return 0.0
+        return self.category_bytes(category) * 8 / (elapsed_ttis * 1000.0)
+
+    def total_mbps(self, elapsed_ttis: int) -> float:
+        if elapsed_ttis <= 0:
+            return 0.0
+        return self.total_bytes * 8 / (elapsed_ttis * 1000.0)
+
+    def breakdown_mbps(self, elapsed_ttis: int) -> Dict[str, float]:
+        """Per-category signaling rates (the Fig. 7 series)."""
+        return {cat: self.category_mbps(cat, elapsed_ttis)
+                for cat in sorted(self.counters)}
+
+    def reset_counters(self) -> None:
+        """Zero the accounting (e.g. after a warm-up period)."""
+        self.counters.clear()
+        self.total_bytes = 0
+        self.total_messages = 0
+
+
+class DuplexChannel:
+    """The agent<->master control channel: an uplink/downlink link pair.
+
+    Latency is configured as a round-trip and split symmetrically, the
+    assumption the paper makes when reasoning about the schedule-ahead
+    bound ("Assuming a symmetrical RTT delay").
+    """
+
+    def __init__(self, *, rtt_ms: float = 0.0, name: str = "channel") -> None:
+        self.name = name
+        one_way = rtt_ms / 2.0
+        self.uplink = EmulatedLink(one_way_latency_ms=one_way,
+                                   name=f"{name}.uplink")
+        self.downlink = EmulatedLink(one_way_latency_ms=one_way,
+                                     name=f"{name}.downlink")
+
+    @property
+    def rtt_ttis(self) -> int:
+        return self.uplink.one_way_latency_ttis + self.downlink.one_way_latency_ttis
+
+    def set_rtt_ms(self, rtt_ms: float) -> None:
+        """Reconfigure the round-trip latency, split symmetrically."""
+        self.uplink.set_latency_ms(rtt_ms / 2.0)
+        self.downlink.set_latency_ms(rtt_ms / 2.0)

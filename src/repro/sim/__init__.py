@@ -1,0 +1,13 @@
+"""Simulation harness: deployment wiring, probes, canonical scenarios."""
+
+from repro.sim.metrics import Probe, Series, cdf_points, goodput_mbps, percentile
+from repro.sim.simulation import Simulation
+
+__all__ = [
+    "Probe",
+    "Series",
+    "cdf_points",
+    "goodput_mbps",
+    "percentile",
+    "Simulation",
+]

@@ -1,0 +1,390 @@
+"""Canonical experiment scenarios shared by examples and benchmarks.
+
+Each builder assembles a :class:`~repro.sim.simulation.Simulation` for
+one of the paper's evaluation setups and returns the handles the
+harness needs.  Calibration constants (CQI operating points, offered
+loads) live here so every bench and example reads the same scenario.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.apps.eicic import (
+    AbsOnlyScheduler,
+    EicicMacroScheduler,
+    OptimizedEicicApp,
+    register_eicic_factories,
+)
+from repro.core.apps.mec_dash import AssistedClientBinding, MecDashApp
+from repro.core.apps.ran_sharing import RanSharingApp, ShareChange
+from repro.core.apps.remote_scheduler import RemoteSchedulerApp
+from repro.core.agent import FlexRanAgent
+from repro.core.delegation import VsfFactoryRegistry
+from repro.lte.constants import SUBFRAMES_PER_FRAME
+from repro.lte.enodeb import EnodeB
+from repro.lte.mac.schedulers import Scheduler
+from repro.lte.phy.channel import (
+    ChannelModel,
+    FixedCqi,
+    GaussMarkovSinr,
+    InterferenceChannel,
+    SquareWaveCqi,
+)
+from repro.lte.phy.cqi import cqi_to_sinr_floor
+from repro.lte.phy.tbs import capacity_mbps
+from repro.lte.ue import Ue
+from repro.sim.simulation import Simulation
+from repro.traffic.dash import (
+    AssistedAbr,
+    DashClient,
+    DashVideo,
+    ThroughputAbr,
+    WindowedThroughputAbr,
+)
+from repro.traffic.generators import CbrSource, SaturatingSource
+
+
+def sinr_for_cqi(cqi: int) -> float:
+    """SINR just above the floor at which *cqi* is reported."""
+    return cqi_to_sinr_floor(cqi) + 0.1
+
+
+# ---------------------------------------------------------------------------
+# Saturated single/multi-UE cell (Fig. 6b, Section 5.4 substrate)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CellScenario:
+    """A one-eNodeB deployment with its handles."""
+
+    sim: Simulation
+    enb: EnodeB
+    agent: Optional[FlexRanAgent]
+    ues: List[Ue] = field(default_factory=list)
+
+
+def saturated_cell(*, n_ues: int = 1, cqi: int = 15,
+                   with_agent: bool = True, with_master: bool = False,
+                   rtt_ms: float = 0.0, uplink: bool = False,
+                   seed: int = 0) -> CellScenario:
+    """Speedtest setup: saturating traffic to fixed-CQI UEs."""
+    sim = Simulation(with_master=with_master)
+    enb = sim.add_enb(seed=seed)
+    agent = sim.add_agent(enb, rtt_ms=rtt_ms) if with_agent else None
+    ues: List[Ue] = []
+    for i in range(n_ues):
+        ue = Ue(f"00{i:03d}", FixedCqi(cqi))
+        sim.add_ue(enb, ue)
+        sim.add_downlink_traffic(enb, ue, SaturatingSource(start_tti=20))
+        if uplink:
+            sim.add_uplink_traffic(enb, ue, SaturatingSource(start_tti=20))
+        ues.append(ue)
+    return CellScenario(sim=sim, enb=enb, agent=agent, ues=ues)
+
+
+# ---------------------------------------------------------------------------
+# Centralized scheduling (Figs. 7, 8, 9; Section 5.4)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class CentralizedScenario:
+    sim: Simulation
+    enbs: List[EnodeB]
+    agents: List[FlexRanAgent]
+    ues_per_enb: List[List[Ue]]
+    app: RemoteSchedulerApp
+
+
+def centralized_scheduling(*, n_enbs: int = 1, ues_per_enb: int = 10,
+                           cqi: int = 12, rtt_ms: float = 0.0,
+                           schedule_ahead: int = 0,
+                           load_factor: float = 1.2,
+                           algorithm: Optional[Scheduler] = None,
+                           channel_factory=None,
+                           seed: int = 0) -> CentralizedScenario:
+    """The paper's worst-case signaling setup: per-TTI stats reports,
+    full TTI-level sync, and a centralized scheduler pushing decisions
+    every TTI (Section 5.2.1)."""
+    sim = Simulation(with_master=True)
+    app = RemoteSchedulerApp(algorithm, schedule_ahead=schedule_ahead)
+    sim.master.add_app(app)
+    enbs: List[EnodeB] = []
+    agents: List[FlexRanAgent] = []
+    all_ues: List[List[Ue]] = []
+    per_ue_mbps = load_factor * capacity_mbps(cqi, 50) / max(1, ues_per_enb)
+    for e in range(n_enbs):
+        enb = sim.add_enb(seed=seed + e)
+        agent = sim.add_agent(enb, rtt_ms=rtt_ms)
+        # Central control from the very first TTI (the app also sends
+        # the activating policy message; this avoids a window where the
+        # default local scheduler would mask the control-channel study).
+        agent.mac.activate("dl_scheduling", "remote_stub")
+        ues: List[Ue] = []
+        for i in range(ues_per_enb):
+            channel: ChannelModel
+            if channel_factory is not None:
+                channel = channel_factory(e, i)
+            else:
+                channel = FixedCqi(cqi)
+            ue = Ue(f"{e:02d}{i:04d}", channel)
+            sim.add_ue(enb, ue)
+            sim.add_downlink_traffic(enb, ue, CbrSource(per_ue_mbps,
+                                                        start_tti=50))
+            ues.append(ue)
+        enbs.append(enb)
+        agents.append(agent)
+        all_ues.append(ues)
+    return CentralizedScenario(sim=sim, enbs=enbs, agents=agents,
+                               ues_per_enb=all_ues, app=app)
+
+
+# ---------------------------------------------------------------------------
+# HetNet eICIC (Fig. 10)
+# ---------------------------------------------------------------------------
+
+EICIC_MODES = ("uncoordinated", "eicic", "optimized")
+
+# Operating points calibrated per DESIGN.md Section 5: every UE is an
+# interference victim; the aggressor knocks macro UEs from CQI 12 down
+# to 7 and the (range-expanded) small-cell UE down to 2.
+MACRO_CLEAR_CQI = 12
+MACRO_INTERFERED_CQI = 7
+SMALL_CLEAR_CQI = 12
+SMALL_INTERFERED_CQI = 2
+MACRO_UE_LOAD_MBPS = 4.5
+SMALL_UE_LOAD_MBPS = 1.8
+
+
+@dataclass
+class EicicScenario:
+    sim: Simulation
+    macro_enb: EnodeB
+    small_enb: EnodeB
+    macro_ues: List[Ue]
+    small_ue: Ue
+    app: Optional[OptimizedEicicApp]
+    mode: str
+
+
+def hetnet_eicic(mode: str, *, abs_subframes: Sequence[int] = (1, 3, 5, 7),
+                 n_macro_ues: int = 3,
+                 macro_load_mbps: float = MACRO_UE_LOAD_MBPS,
+                 small_load_mbps: float = SMALL_UE_LOAD_MBPS,
+                 seed: int = 0) -> EicicScenario:
+    """Section 6.1's two-cell HetNet in one of the three modes."""
+    if mode not in EICIC_MODES:
+        raise ValueError(f"mode must be one of {EICIC_MODES}, got {mode!r}")
+    abs_set = sorted(set(abs_subframes))
+    complement = [s for s in range(SUBFRAMES_PER_FRAME) if s not in abs_set]
+
+    sim = Simulation(with_master=True)
+    macro_enb = sim.add_enb(1, seed=seed)
+    small_enb = sim.add_enb(2, seed=seed + 1)
+    macro_registry = VsfFactoryRegistry()
+    small_registry = VsfFactoryRegistry()
+    register_eicic_factories(macro_registry)
+    register_eicic_factories(small_registry)
+    macro_agent = sim.add_agent(macro_enb, vsf_registry=macro_registry)
+    small_agent = sim.add_agent(small_enb, vsf_registry=small_registry)
+
+    macro_cell = macro_enb.cell()
+    small_cell = small_enb.cell()
+    macro_cell.interference_source = small_cell
+    small_cell.interference_source = macro_cell
+
+    macro_ues: List[Ue] = []
+    for i in range(n_macro_ues):
+        ue = Ue(f"m{i:03d}", InterferenceChannel(
+            sinr_for_cqi(MACRO_CLEAR_CQI), sinr_for_cqi(MACRO_INTERFERED_CQI)))
+        sim.add_ue(macro_enb, ue)
+        sim.add_downlink_traffic(macro_enb, ue,
+                                 CbrSource(macro_load_mbps, start_tti=100))
+        macro_ues.append(ue)
+    small_ue = Ue("s000", InterferenceChannel(
+        sinr_for_cqi(SMALL_CLEAR_CQI), sinr_for_cqi(SMALL_INTERFERED_CQI)))
+    sim.add_ue(small_enb, small_ue)
+    sim.add_downlink_traffic(small_enb, small_ue,
+                             CbrSource(small_load_mbps, start_tti=100))
+
+    app: Optional[OptimizedEicicApp] = None
+    if mode == "uncoordinated":
+        macro_agent.mac.activate("dl_scheduling", "local_fair")
+        small_agent.mac.activate("dl_scheduling", "local_fair")
+    elif mode == "eicic":
+        # Static eICIC, configured without central coordination (what an
+        # X2-based deployment would do).
+        macro_vsf = EicicMacroScheduler(abs_set)
+        macro_vsf.bind(macro_agent.mac)
+        macro_agent.mac.register_vsf("dl_scheduling", "eicic_macro",
+                                     macro_vsf, activate=True)
+        macro_cell.set_abs_pattern(abs_set)
+        small_agent.mac.register_vsf("dl_scheduling", "abs_only_fair",
+                                     AbsOnlyScheduler(abs_set), activate=True)
+        small_cell.set_abs_pattern(complement)
+    else:  # optimized: everything pushed over the FlexRAN protocol
+        app = OptimizedEicicApp(
+            macro_agent=macro_agent.agent_id,
+            macro_cell=macro_cell.cell_id,
+            small_agents=[small_agent.agent_id],
+            abs_subframes=abs_set)
+        sim.master.add_app(app)
+        # Small cells still need their local ABS-only discipline.
+        small_agent.mac.register_vsf("dl_scheduling", "abs_only_fair",
+                                     AbsOnlyScheduler(abs_set), activate=True)
+
+    return EicicScenario(sim=sim, macro_enb=macro_enb, small_enb=small_enb,
+                         macro_ues=macro_ues, small_ue=small_ue, app=app,
+                         mode=mode)
+
+
+# ---------------------------------------------------------------------------
+# RAN sharing (Fig. 12)
+# ---------------------------------------------------------------------------
+
+SHARING_CQI = 7
+"""Operating point for the sharing experiments; capacity ~6.6 Mb/s, the
+regime of the paper's PHY-abstracted emulation runs."""
+
+
+@dataclass
+class SharingScenario:
+    sim: Simulation
+    enb: EnodeB
+    agent: FlexRanAgent
+    ues_by_operator: Dict[str, List[Ue]]
+    app: RanSharingApp
+
+
+def ran_sharing(*, ues_per_operator: int = 5,
+                initial_fractions: Optional[Dict[str, float]] = None,
+                changes: Sequence[ShareChange] = (),
+                per_ue_load_mbps: float = 2.0,
+                group_split: Optional[Tuple[int, int]] = None,
+                cqi: int = SHARING_CQI,
+                seed: int = 0) -> SharingScenario:
+    """Section 6.3: MNO + MVNO sharing one cell via a sliced scheduler.
+
+    With ``group_split=(premium, secondary)`` the MVNO slice runs the
+    premium/secondary group policy of the second experiment.
+    """
+    fractions = dict(initial_fractions or {"mno": 0.5, "mvno": 0.5})
+    sim = Simulation(with_master=True)
+    enb = sim.add_enb(seed=seed)
+    agent = sim.add_agent(enb)
+
+    ues_by_operator: Dict[str, List[Ue]] = {}
+    for operator in sorted(fractions):
+        ues: List[Ue] = []
+        for i in range(ues_per_operator):
+            labels = {"operator": operator}
+            if operator == "mvno" and group_split is not None:
+                premium, _ = group_split
+                labels["group"] = "premium" if i < premium else "secondary"
+            elif group_split is not None:
+                labels["group"] = "premium"
+            ue = Ue(f"{operator}{i:03d}", FixedCqi(cqi), labels=labels)
+            sim.add_ue(enb, ue)
+            sim.add_downlink_traffic(
+                enb, ue, CbrSource(per_ue_load_mbps, start_tti=100))
+            ues.append(ue)
+        ues_by_operator[operator] = ues
+
+    policies = {"mvno": "group_based"} if group_split is not None else None
+    app = RanSharingApp(agent_id=agent.agent_id,
+                        initial_fractions=fractions, changes=changes,
+                        policies=policies)
+    sim.master.add_app(app)
+    return SharingScenario(sim=sim, enb=enb, agent=agent,
+                           ues_by_operator=ues_by_operator, app=app)
+
+
+# ---------------------------------------------------------------------------
+# DASH over MEC (Fig. 11, Table 2)
+# ---------------------------------------------------------------------------
+
+LOW_VARIABILITY = "low"
+HIGH_VARIABILITY = "high"
+
+LOW_BITRATES = [1.2, 2.0, 4.0]
+HIGH_BITRATES = [2.9, 4.9, 7.3, 9.6, 14.6, 19.6]
+
+# CQI operating points for the two Fig. 11 cases.  The paper used
+# (3 <-> 2) and (10 <-> 4); our capacity model is more conservative at
+# low CQI than the authors' testbed (see DESIGN.md), so the same
+# *relationships* -- small step around the 2 Mb/s rung, drastic step
+# from far above to just at the lowest rung -- occur one/two CQI
+# levels higher.
+LOW_CASE_CQIS = (4, 3)
+HIGH_CASE_CQIS = (10, 6)
+
+SUSTAINABLE_FRACTION = 0.8
+"""Fraction of the saturated link capacity a VBR stream can sustain
+without freezes (TCP efficiency x VBR peak headroom); regenerated
+empirically by bench_table2_cqi."""
+
+
+def default_bitrate_table() -> Dict[int, float]:
+    """CQI -> max sustainable bitrate from the capacity model."""
+    return {c: round(capacity_mbps(c, 50) * SUSTAINABLE_FRACTION, 2)
+            for c in range(1, 16)}
+
+
+@dataclass
+class DashScenario:
+    sim: Simulation
+    enb: EnodeB
+    ue: Ue
+    client: DashClient
+    video: DashVideo
+    assisted: bool
+    case: str
+
+
+def dash_streaming(case: str = LOW_VARIABILITY, *, assisted: bool = False,
+                   bitrate_table: Optional[Dict[int, float]] = None,
+                   period_s: float = 25.0, seed: int = 0) -> DashScenario:
+    """Section 6.2: one UE streaming DASH under CQI fluctuation."""
+    if case == LOW_VARIABILITY:
+        high_cqi, low_cqi = LOW_CASE_CQIS
+        bitrates = LOW_BITRATES
+        buffer_cap_s = 12.0
+    elif case == HIGH_VARIABILITY:
+        high_cqi, low_cqi = HIGH_CASE_CQIS
+        bitrates = HIGH_BITRATES
+        buffer_cap_s = 100.0
+    else:
+        raise ValueError(f"case must be 'low' or 'high', got {case!r}")
+
+    sim = Simulation(with_master=True)
+    enb = sim.add_enb(seed=seed)
+    sim.add_agent(enb)
+    channel = SquareWaveCqi(high_cqi, low_cqi,
+                            period_ttis=int(period_s * 1000))
+    ue = Ue("dash0", channel)
+    sim.add_ue(enb, ue)
+    flow = sim.add_tcp_flow(enb, ue, base_rtt_ms=20.0)
+    video = DashVideo(bitrates, segment_duration_s=2.0,
+                      vbr_peak_factor=1.3, seed=seed)
+
+    if assisted:
+        abr = AssistedAbr()
+        table = bitrate_table or default_bitrate_table()
+        app = MecDashApp(
+            [AssistedClientBinding(agent_id=enb.enb_id, rnti=ue.rnti,
+                                   abr=abr)],
+            bitrate_table=table)
+        sim.master.add_app(app)
+    elif case == LOW_VARIABILITY:
+        abr = WindowedThroughputAbr(flow)
+    else:
+        abr = ThroughputAbr(aggressiveness=1.4)
+
+    client = DashClient(video, flow, abr, buffer_cap_s=buffer_cap_s,
+                        startup_buffer_s=2.0, start_tti=2000)
+    sim.add_dash_client(client)
+    return DashScenario(sim=sim, enb=enb, ue=ue, client=client, video=video,
+                        assisted=assisted, case=case)

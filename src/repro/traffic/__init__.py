@@ -1,0 +1,34 @@
+"""Traffic substrate: generators, EPC stub, TCP model, DASH streaming."""
+
+from repro.traffic.dash import (
+    AbrAlgorithm,
+    AssistedAbr,
+    DashClient,
+    DashVideo,
+    ThroughputAbr,
+)
+from repro.traffic.epc import EpcStub, FlowStats
+from repro.traffic.generators import (
+    CbrSource,
+    OnOffSource,
+    PoissonSource,
+    SaturatingSource,
+    TrafficSource,
+)
+from repro.traffic.tcp import TcpFlow
+
+__all__ = [
+    "AbrAlgorithm",
+    "AssistedAbr",
+    "DashClient",
+    "DashVideo",
+    "ThroughputAbr",
+    "EpcStub",
+    "FlowStats",
+    "CbrSource",
+    "OnOffSource",
+    "PoissonSource",
+    "SaturatingSource",
+    "TrafficSource",
+    "TcpFlow",
+]

@@ -1,0 +1,105 @@
+"""EPC stub: the core-network side feeding the RAN.
+
+The paper's testbed ran openair-cn as the Evolved Packet Core; the
+reproduction only needs its externally visible role -- delivering
+downlink flows into eNodeB bearers (S1-U ingress) and accounting
+uplink deliveries -- so this stub implements exactly that, plus flow
+management helpers the examples and benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.lte.enodeb import EnodeB
+from repro.lte.mac.queues import DEFAULT_LCID
+from repro.traffic.generators import TrafficSource
+
+
+@dataclass
+class FlowStats:
+    """Counters for one provisioned flow."""
+
+    offered_packets: int = 0
+    offered_bytes: int = 0
+    accepted_bytes: int = 0
+    dropped_bytes: int = 0
+
+
+@dataclass
+class _DownlinkFlow:
+    source: TrafficSource
+    enb: EnodeB
+    rnti: int
+    lcid: int
+    stats: FlowStats = field(default_factory=FlowStats)
+
+
+@dataclass
+class _UplinkFlow:
+    source: TrafficSource
+    enb: EnodeB
+    rnti: int
+    stats: FlowStats = field(default_factory=FlowStats)
+
+
+class EpcStub:
+    """Routes generated traffic into eNodeBs every TTI."""
+
+    def __init__(self) -> None:
+        self._downlink: List[_DownlinkFlow] = []
+        self._uplink: List[_UplinkFlow] = []
+
+    def add_downlink(self, source: TrafficSource, enb: EnodeB, rnti: int,
+                     *, lcid: int = DEFAULT_LCID) -> FlowStats:
+        """Provision a downlink flow; returns its live counters."""
+        flow = _DownlinkFlow(source=source, enb=enb, rnti=rnti, lcid=lcid)
+        self._downlink.append(flow)
+        return flow.stats
+
+    def add_uplink(self, source: TrafficSource, enb: EnodeB,
+                   rnti: int) -> FlowStats:
+        """Provision an uplink flow (data originates at the UE)."""
+        flow = _UplinkFlow(source=source, enb=enb, rnti=rnti)
+        self._uplink.append(flow)
+        return flow.stats
+
+    def rehome(self, old_enb: EnodeB, old_rnti: int,
+               new_enb: EnodeB, new_rnti: int) -> int:
+        """Repoint flows after a handover moved a UE; returns count."""
+        moved = 0
+        for flow in self._downlink + self._uplink:
+            if flow.enb is old_enb and flow.rnti == old_rnti:
+                flow.enb = new_enb
+                flow.rnti = new_rnti
+                moved += 1
+        return moved
+
+    def remove_flows_for(self, rnti: int) -> int:
+        """Drop all flows toward *rnti* (UE detached); returns count."""
+        before = len(self._downlink) + len(self._uplink)
+        self._downlink = [f for f in self._downlink if f.rnti != rnti]
+        self._uplink = [f for f in self._uplink if f.rnti != rnti]
+        return before - len(self._downlink) - len(self._uplink)
+
+    def tick(self, tti: int) -> None:
+        """TRAFFIC phase: generate and deliver this TTI's packets."""
+        for flow in self._downlink:
+            if flow.rnti not in flow.enb.rntis():
+                continue
+            for size in flow.source.packets(tti):
+                flow.stats.offered_packets += 1
+                flow.stats.offered_bytes += size
+                if flow.enb.enqueue_dl(flow.rnti, size, tti, flow.lcid):
+                    flow.stats.accepted_bytes += size
+                else:
+                    flow.stats.dropped_bytes += size
+        for flow in self._uplink:
+            if flow.rnti not in flow.enb.rntis():
+                continue
+            total = sum(flow.source.packets(tti))
+            if total > 0:
+                flow.stats.offered_bytes += total
+                flow.stats.accepted_bytes += total
+                flow.enb.notify_ul(flow.rnti, total, tti)

@@ -1,0 +1,130 @@
+"""Traffic generators: the simulated iperf of the evaluation.
+
+The paper's experiments drive the RAN with "uniform downlink UDP
+traffic" for the scheduling/scalability studies and saturating
+up/downlink flows for the speedtest comparison.  Generators here
+produce per-TTI packet batches; the :mod:`repro.traffic.epc` stub
+delivers them into eNodeB bearers.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import List
+
+import numpy as np
+
+DEFAULT_PACKET_BYTES = 1400
+"""Typical payload of an MTU-sized UDP datagram after headers."""
+
+
+class TrafficSource(abc.ABC):
+    """Produces downlink (or uplink) packets per TTI."""
+
+    @abc.abstractmethod
+    def packets(self, tti: int) -> List[int]:
+        """Packet sizes (bytes) generated during this TTI."""
+
+
+class CbrSource(TrafficSource):
+    """Constant bitrate: *rate_mbps* spread over MTU-sized packets.
+
+    A byte accumulator keeps the long-run rate exact even when the
+    per-TTI budget is a fraction of one packet.
+    """
+
+    def __init__(self, rate_mbps: float,
+                 packet_bytes: int = DEFAULT_PACKET_BYTES,
+                 *, start_tti: int = 0, stop_tti: int = -1) -> None:
+        if rate_mbps < 0:
+            raise ValueError(f"rate must be >= 0, got {rate_mbps}")
+        if packet_bytes <= 0:
+            raise ValueError(f"packet size must be positive, got {packet_bytes}")
+        self.rate_mbps = rate_mbps
+        self.packet_bytes = packet_bytes
+        self.start_tti = start_tti
+        self.stop_tti = stop_tti
+        self._credit_bytes = 0.0
+
+    @property
+    def bytes_per_tti(self) -> float:
+        return self.rate_mbps * 1000.0 / 8.0
+
+    def packets(self, tti: int) -> List[int]:
+        if tti < self.start_tti or (0 <= self.stop_tti <= tti):
+            return []
+        self._credit_bytes += self.bytes_per_tti
+        out: List[int] = []
+        while self._credit_bytes >= self.packet_bytes:
+            out.append(self.packet_bytes)
+            self._credit_bytes -= self.packet_bytes
+        return out
+
+
+class SaturatingSource(TrafficSource):
+    """Backlogged source: always offers *burst_bytes* per TTI.
+
+    Used for speedtest-style saturation (Fig. 6b): the queue never
+    runs dry, so measured goodput equals link capacity.
+    """
+
+    def __init__(self, burst_bytes: int = 8000,
+                 packet_bytes: int = DEFAULT_PACKET_BYTES,
+                 *, start_tti: int = 0) -> None:
+        if burst_bytes <= 0:
+            raise ValueError(f"burst must be positive, got {burst_bytes}")
+        self.burst_bytes = burst_bytes
+        self.packet_bytes = packet_bytes
+        self.start_tti = start_tti
+
+    def packets(self, tti: int) -> List[int]:
+        if tti < self.start_tti:
+            return []
+        out = [self.packet_bytes] * (self.burst_bytes // self.packet_bytes)
+        rest = self.burst_bytes % self.packet_bytes
+        if rest:
+            out.append(rest)
+        return out
+
+
+class PoissonSource(TrafficSource):
+    """Poisson packet arrivals at a mean rate (bursty M2M-style load)."""
+
+    def __init__(self, rate_mbps: float,
+                 packet_bytes: int = DEFAULT_PACKET_BYTES,
+                 *, seed: int = 0, start_tti: int = 0) -> None:
+        if rate_mbps < 0:
+            raise ValueError(f"rate must be >= 0, got {rate_mbps}")
+        self.rate_mbps = rate_mbps
+        self.packet_bytes = packet_bytes
+        self.start_tti = start_tti
+        self._rng = np.random.default_rng(seed)
+        self._lambda = rate_mbps * 1000.0 / 8.0 / packet_bytes
+
+    def packets(self, tti: int) -> List[int]:
+        if tti < self.start_tti:
+            return []
+        n = int(self._rng.poisson(self._lambda))
+        return [self.packet_bytes] * n
+
+
+class OnOffSource(TrafficSource):
+    """CBR with alternating on/off periods (bursty video/web-ish load)."""
+
+    def __init__(self, rate_mbps: float, *, on_ttis: int, off_ttis: int,
+                 packet_bytes: int = DEFAULT_PACKET_BYTES,
+                 start_tti: int = 0) -> None:
+        if on_ttis <= 0 or off_ttis < 0:
+            raise ValueError("on_ttis must be > 0 and off_ttis >= 0")
+        self._inner = CbrSource(rate_mbps, packet_bytes)
+        self.on_ttis = on_ttis
+        self.off_ttis = off_ttis
+        self.start_tti = start_tti
+
+    def packets(self, tti: int) -> List[int]:
+        if tti < self.start_tti:
+            return []
+        phase = (tti - self.start_tti) % (self.on_ttis + self.off_ttis)
+        if phase >= self.on_ttis:
+            return []
+        return self._inner.packets(tti)

@@ -1,0 +1,87 @@
+"""Tests for VSF packaging and the trusted loader."""
+
+import pytest
+
+from repro.core.delegation import (
+    DEFAULT_BLOB_PAD_BYTES,
+    VsfFactoryRegistry,
+    VsfLoadError,
+    load_vsf,
+    pack_vsf,
+)
+from repro.lte.mac.schedulers import (
+    ProportionalFairScheduler,
+    RoundRobinScheduler,
+    SlicedScheduler,
+)
+
+
+class TestPack:
+    def test_default_padding(self):
+        blob = pack_vsf("scheduler:round_robin")
+        assert len(blob) == DEFAULT_BLOB_PAD_BYTES
+
+    def test_no_padding_when_smaller(self):
+        blob = pack_vsf("scheduler:round_robin", pad_to=0)
+        assert len(blob) < 100
+
+    def test_padding_preserves_content(self):
+        blob = pack_vsf("scheduler:round_robin", pad_to=1000)
+        assert isinstance(load_vsf(blob), RoundRobinScheduler)
+
+
+class TestLoad:
+    def test_builtin_schedulers_loadable(self):
+        vsf = load_vsf(pack_vsf("scheduler:proportional_fair",
+                                {"ewma_alpha": 0.2}))
+        assert isinstance(vsf, ProportionalFairScheduler)
+        assert vsf.parameters["ewma_alpha"] == 0.2
+
+    def test_sliced_with_params(self):
+        vsf = load_vsf(pack_vsf("scheduler:sliced",
+                                {"fractions": {"a": 0.5, "b": 0.5}}))
+        assert isinstance(vsf, SlicedScheduler)
+
+    def test_untrusted_factory_rejected(self):
+        with pytest.raises(VsfLoadError):
+            load_vsf(pack_vsf("evil:backdoor"))
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(VsfLoadError):
+            load_vsf(pack_vsf("scheduler:round_robin", {"bogus": 1}))
+
+    def test_malformed_blob_rejected(self):
+        with pytest.raises(VsfLoadError):
+            load_vsf(b"\x00\xff not json")
+        with pytest.raises(VsfLoadError):
+            load_vsf(b'{"no_factory": 1}')
+        with pytest.raises(VsfLoadError):
+            load_vsf(b'{"factory": "x", "params": 5}')
+
+
+class TestRegistry:
+    def test_custom_factory(self):
+        registry = VsfFactoryRegistry()
+        registry.register("custom:nothing", lambda: (lambda ctx: []))
+        vsf = load_vsf(pack_vsf("custom:nothing"), registry)
+        assert vsf(None) == []
+
+    def test_registries_isolated(self):
+        """Trusting a factory on one agent does not trust it on others
+        (per-agent certification, Section 4.3.1 security discussion)."""
+        a = VsfFactoryRegistry()
+        b = VsfFactoryRegistry()
+        a.register("custom:only_a", lambda: (lambda ctx: []))
+        load_vsf(pack_vsf("custom:only_a"), a)
+        with pytest.raises(VsfLoadError):
+            load_vsf(pack_vsf("custom:only_a"), b)
+
+    def test_empty_name_rejected(self):
+        with pytest.raises(ValueError):
+            VsfFactoryRegistry().register("", lambda: None)
+
+    def test_builtin_names_present(self):
+        names = VsfFactoryRegistry().names()
+        assert "scheduler:round_robin" in names
+        assert "scheduler:sliced" in names
+        assert "scheduler:group_based" in names

@@ -1,0 +1,111 @@
+"""Tests for the DRX energy saver and carrier aggregation apps,
+exercised end-to-end over the FlexRAN protocol."""
+
+import pytest
+
+from repro.core.apps.carrier_aggregation import CarrierAggregationApp
+from repro.core.apps.energy import DrxEnergyApp
+from repro.lte.cell import CellConfig
+from repro.lte.phy.channel import FixedCqi
+from repro.lte.phy.tbs import capacity_mbps
+from repro.lte.ue import Ue
+from repro.sim.simulation import Simulation
+from repro.traffic.generators import CbrSource, OnOffSource
+
+
+class TestDrxEnergyApp:
+    def build(self, traffic=None):
+        sim = Simulation(with_master=True)
+        enb = sim.add_enb()
+        agent = sim.add_agent(enb)
+        ue = Ue("001", FixedCqi(12))
+        sim.add_ue(enb, ue)
+        if traffic is not None:
+            sim.add_downlink_traffic(enb, ue, traffic)
+        app = DrxEnergyApp(idle_window_ttis=200, cycle_ttis=80,
+                           on_duration_ttis=8)
+        sim.master.add_app(app)
+        return sim, enb, agent, ue, app
+
+    def test_idle_ue_put_to_sleep(self):
+        sim, enb, agent, ue, app = self.build(traffic=None)
+        sim.run(3000)
+        assert app.sleeping_ues() == 1
+        state = enb.drx.state(ue.rnti)
+        assert state.enabled
+        # Awake fraction well below always-on over the DRX period.
+        assert state.awake_fraction() < 0.6
+
+    def test_active_ue_stays_awake(self):
+        sim, enb, agent, ue, app = self.build(
+            traffic=CbrSource(5.0, start_tti=50))
+        sim.run(3000)
+        assert app.sleeping_ues() == 0
+        assert not enb.drx.state(ue.rnti).enabled
+
+    def test_drx_lifted_when_traffic_resumes(self):
+        # Quiet for 3 s, then traffic arrives.
+        sim, enb, agent, ue, app = self.build(
+            traffic=CbrSource(5.0, start_tti=3000))
+        sim.run(2900)
+        assert app.sleeping_ues() == 1
+        sim.run(2000)
+        assert app.sleeping_ues() == 0
+        # Traffic flows at (near) full rate once DRX is lifted.
+        assert ue.throughput_mbps(sim.now) > 4.0
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            DrxEnergyApp(idle_window_ttis=0)
+
+
+class TestCarrierAggregationApp:
+    def build(self, rate_mbps):
+        sim = Simulation(with_master=True)
+        enb = sim.add_enb(1, [CellConfig(cell_id=10),
+                              CellConfig(cell_id=11)])
+        agent = sim.add_agent(enb)
+        ue = Ue("001", FixedCqi(12))
+        ue.carrier_channels[11] = FixedCqi(12)
+        sim.add_ue(enb, ue, cell_id=10)
+        sim.add_downlink_traffic(enb, ue, CbrSource(rate_mbps, start_tti=100))
+        app = CarrierAggregationApp(scell_map={10: 11},
+                                    activate_backlog_bytes=100_000,
+                                    release_backlog_bytes=1_000,
+                                    hold_ttis=100)
+        sim.master.add_app(app)
+        return sim, enb, agent, ue, app
+
+    def test_backlogged_ue_gets_scell(self):
+        # Offered 30 Mb/s > single-carrier ~17.5 Mb/s: backlog builds,
+        # the app aggregates, and both carriers drain the queue.
+        sim, enb, agent, ue, app = self.build(rate_mbps=30.0)
+        sim.run(6000)
+        assert app.aggregated_ues() == 1
+        assert enb.active_scells(ue.rnti) == [11]
+        # With the SCell the UE sustains the full 30 Mb/s offered load.
+        assert ue.throughput_mbps(sim.now) > capacity_mbps(12, 50)
+
+    def test_light_ue_not_aggregated(self):
+        sim, enb, agent, ue, app = self.build(rate_mbps=2.0)
+        sim.run(4000)
+        assert app.aggregated_ues() == 0
+        assert enb.active_scells(ue.rnti) == []
+
+    def test_scell_released_after_load_drops(self):
+        sim, enb, agent, ue, app = self.build(rate_mbps=30.0)
+        sim.run(4000)
+        assert app.aggregated_ues() == 1
+        # Stop the traffic by replacing the source's stop time.
+        sim.epc._downlink[0].source.stop_tti = sim.now
+        sim.run(6000)
+        assert app.aggregated_ues() == 0
+        assert enb.active_scells(ue.rnti) == []
+        activations = [d for d in app.decisions if d.activated]
+        releases = [d for d in app.decisions if not d.activated]
+        assert len(activations) == 1 and len(releases) == 1
+
+    def test_invalid_thresholds(self):
+        with pytest.raises(ValueError):
+            CarrierAggregationApp(scell_map={}, activate_backlog_bytes=10,
+                                  release_backlog_bytes=10)

@@ -1,0 +1,98 @@
+"""Fuzzing: hostile inputs must fail cleanly, never crash or corrupt.
+
+The agent and master parse bytes from the network (codec) and text
+from policy messages; a malformed input must raise the module's typed
+error, not an arbitrary exception, and must never be silently
+mis-parsed.
+"""
+
+import pytest
+from hypothesis import example, given, settings, strategies as st
+
+from repro.core.delegation import VsfLoadError, load_vsf
+from repro.core.policy import PolicyDocument, PolicyParseError, parse
+from repro.core.protocol import codec
+from repro.core.protocol.errors import DecodeError
+from repro.core.protocol.messages import MESSAGE_TYPES
+
+
+class TestCodecFuzz:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=300)
+    @example(b"\x08")           # valid type byte, truncated header
+    @example(b"\x01\x00\x00")   # Hello with truncated payload
+    def test_decode_never_crashes(self, data):
+        """Random bytes either decode to a message or raise DecodeError."""
+        try:
+            message = codec.decode(data)
+        except DecodeError:
+            return
+        assert type(message) in MESSAGE_TYPES.values()
+        # Anything that decodes must re-encode (possibly not byte-
+        # identical -- dict ordering is canonicalized -- but must
+        # round-trip to an equal message).
+        assert codec.decode(codec.encode(message)) == message
+
+    @given(st.binary(min_size=1, max_size=200))
+    @settings(max_examples=200)
+    def test_truncation_of_valid_frames_fails_cleanly(self, payload):
+        from repro.core.protocol.messages import Header, VsfUpdate
+        frame = codec.encode(VsfUpdate(header=Header(agent_id=1),
+                                       module="mac", operation="dl",
+                                       name="x", blob=payload))
+        for cut in range(1, len(frame)):
+            try:
+                codec.decode(frame[:cut])
+            except DecodeError:
+                continue
+            # A strict prefix that still decodes must never happen: the
+            # frame has no trailing-garbage ambiguity by construction.
+            pytest.fail(f"prefix of length {cut} decoded successfully")
+
+
+class TestPolicyFuzz:
+    @given(st.text(max_size=300))
+    @settings(max_examples=300)
+    def test_parse_never_crashes(self, text):
+        try:
+            parse(text)
+        except PolicyParseError:
+            pass
+
+    @given(st.text(max_size=300))
+    @settings(max_examples=200)
+    def test_policy_document_never_crashes(self, text):
+        try:
+            PolicyDocument.from_text(text)
+        except PolicyParseError:
+            pass
+
+    @given(st.text(alphabet="abc:-\n  #'\"", max_size=120))
+    @settings(max_examples=300)
+    def test_structured_garbage(self, text):
+        """YAML-looking noise must parse or raise, never hang/crash."""
+        try:
+            parse(text)
+        except PolicyParseError:
+            pass
+
+
+class TestVsfBlobFuzz:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=200)
+    def test_load_vsf_never_crashes(self, blob):
+        try:
+            load_vsf(blob)
+        except VsfLoadError:
+            pass
+
+    @given(st.text(max_size=100), st.dictionaries(
+        st.text(max_size=8), st.integers(), max_size=3))
+    @settings(max_examples=100)
+    def test_arbitrary_specs_rejected_or_loaded(self, factory, params):
+        from repro.core.delegation import pack_vsf
+        try:
+            vsf = load_vsf(pack_vsf(factory, params))
+        except VsfLoadError:
+            return
+        assert callable(vsf)

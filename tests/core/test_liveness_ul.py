@@ -1,0 +1,118 @@
+"""Tests for agent liveness monitoring and centralized UL scheduling."""
+
+import pytest
+
+from repro.core.agent import FlexRanAgent
+from repro.core.apps.remote_scheduler import RemoteSchedulerApp
+from repro.core.controller import MasterController
+from repro.core.protocol.messages import (
+    DciSpec,
+    EchoRequest,
+    UlMacCommand,
+)
+from repro.lte.enodeb import EnodeB
+from repro.lte.phy.channel import FixedCqi
+from repro.lte.phy.tbs import capacity_mbps
+from repro.lte.ue import Ue
+from repro.net.transport import ControlConnection
+from repro.sim.scenarios import centralized_scheduling
+from repro.sim.simulation import Simulation
+from repro.traffic.generators import SaturatingSource
+
+
+class TestLiveness:
+    def build(self):
+        enb = EnodeB(1)
+        conn = ControlConnection()
+        agent = FlexRanAgent(1, enb, endpoint=conn.agent_side)
+        master = MasterController(echo_period_ttis=100,
+                                  liveness_timeout_ttis=300)
+        master.connect_agent(1, conn.master_side)
+        return enb, agent, master, conn
+
+    def drive(self, enb, agent, master, start, end, *, agent_alive=True):
+        for t in range(start, end):
+            if agent_alive:
+                agent.tick_tx(t)
+            master.tick(t)
+            if agent_alive:
+                agent.tick_rx(t)
+            enb.tick(t)
+
+    def test_healthy_agent_stays_alive(self):
+        enb, agent, master, conn = self.build()
+        enb.attach_ue(Ue("001", FixedCqi(12)), tti=0)
+        self.drive(enb, agent, master, 0, 1000)
+        assert master.live_agent_ids() == [1]
+        assert master.agents_declared_dead == 0
+
+    def test_quiet_agent_gets_echo_probe(self):
+        enb, agent, master, conn = self.build()
+        self.drive(enb, agent, master, 0, 5)
+        # Now the agent keeps responding but originates nothing new; the
+        # echo exchange itself keeps it alive.
+        self.drive(enb, agent, master, 5, 1000)
+        assert agent.messages_handled > 0  # echoes were received
+        assert master.live_agent_ids() == [1]
+
+    def test_dead_agent_detected_and_revived(self):
+        enb, agent, master, conn = self.build()
+        self.drive(enb, agent, master, 0, 50)
+        assert master.rib.agent(1).alive
+        # The agent process "dies": no tx/rx, messages pile up unread.
+        self.drive(enb, agent, master, 50, 500, agent_alive=False)
+        assert not master.rib.agent(1).alive
+        assert master.agents_declared_dead == 1
+        assert master.live_agent_ids() == []
+        # It comes back: first message flips it to alive again.
+        self.drive(enb, agent, master, 500, 560)
+        assert master.rib.agent(1).alive
+
+    def test_invalid_liveness_config(self):
+        with pytest.raises(ValueError):
+            MasterController(echo_period_ttis=100,
+                             liveness_timeout_ttis=100)
+
+
+class TestUplinkRemoteScheduling:
+    def test_ul_command_roundtrip(self):
+        enb = EnodeB(1)
+        conn = ControlConnection()
+        agent = FlexRanAgent(1, enb, endpoint=conn.agent_side)
+        rnti = enb.attach_ue(Ue("001", FixedCqi(12)), tti=0)
+        agent.mac.activate("ul_scheduling", "remote_stub_ul")
+        for t in range(15):
+            enb.tick(t)  # let random access complete (UE schedulable)
+        conn.master_side.send(UlMacCommand(
+            cell_id=enb.cell().cell_id, target_tti=20,
+            grants=[DciSpec(rnti=rnti, n_prb=50, cqi_used=12)]), now=15)
+        agent.tick_rx(15)
+        assert agent.mac.remote_ul_stub.stats.expired_on_arrival == 0
+        # The stored grant applies exactly at its target TTI.
+        ctx = enb.build_context(enb.cell().cell_id, 20)
+        grants = agent.mac.remote_ul_stub(ctx)
+        assert len(grants) == 1 and grants[0].n_prb == 50
+
+    def test_centralized_uplink_throughput(self):
+        sc = centralized_scheduling(ues_per_enb=1, cqi=15)
+        sc.app.schedule_uplink = True
+        ue = sc.ues_per_enb[0][0]
+        sc.sim.add_uplink_traffic(sc.enbs[0], ue,
+                                  SaturatingSource(start_tti=50))
+        sc.sim.run(3000)
+        assert (sc.agents[0].mac.active_name("ul_scheduling")
+                == "remote_stub_ul")
+        ul_mbps = sc.enbs[0].counters.ul_delivered_bytes * 8 / (3000 * 1000)
+        assert ul_mbps == pytest.approx(
+            capacity_mbps(15, 50, uplink=True), rel=0.1)
+
+    def test_ul_stub_without_decision_grants_nothing(self):
+        enb = EnodeB(1)
+        agent = FlexRanAgent(1, enb)
+        rnti = enb.attach_ue(Ue("001", FixedCqi(12)), tti=0)
+        enb.ue(rnti).generate_ul(10_000)
+        agent.mac.activate("ul_scheduling", "remote_stub_ul")
+        for t in range(200):
+            enb.tick(t)
+        assert enb.counters.ul_delivered_bytes == 0
+        assert agent.mac.remote_ul_stub.stats.missed_ttis > 0

@@ -1,0 +1,144 @@
+"""Tests for the YAML-subset policy parser and builder."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.policy import (
+    PolicyDocument,
+    PolicyParseError,
+    VsfPolicy,
+    build_policy,
+    dumps,
+    parse,
+)
+
+
+class TestScalarParsing:
+    @pytest.mark.parametrize("text,expected", [
+        ("key: 5", {"key": 5}),
+        ("key: 0.7", {"key": 0.7}),
+        ("key: true", {"key": True}),
+        ("key: false", {"key": False}),
+        ("key: null", {"key": None}),
+        ("key: hello", {"key": "hello"}),
+        ("key: 'quoted: value'", {"key": "quoted: value"}),
+        ('key: "5"', {"key": "5"}),
+        ("key:", {"key": None}),
+    ])
+    def test_scalars(self, text, expected):
+        assert parse(text) == expected
+
+    def test_comments_stripped(self):
+        assert parse("key: 5  # a comment\n# full line\nother: 6") == \
+               {"key": 5, "other": 6}
+
+    def test_empty_document(self):
+        assert parse("") == {}
+        assert parse("\n\n# only comments\n") == {}
+
+
+class TestStructures:
+    def test_nested_mapping(self):
+        text = "mac:\n  fractions:\n    mno: 0.7\n    mvno: 0.3"
+        assert parse(text) == {
+            "mac": {"fractions": {"mno": 0.7, "mvno": 0.3}}}
+
+    def test_sequence_of_scalars(self):
+        assert parse("items:\n  - 1\n  - 2\n  - three") == \
+               {"items": [1, 2, "three"]}
+
+    def test_fig3_structure(self):
+        """The exact message structure of the paper's Fig. 3."""
+        text = (
+            "mac:\n"
+            "  - vsf: dl_scheduling\n"
+            "    behavior: local_pf\n"
+            "    parameters:\n"
+            "      fractions:\n"
+            "        mno: 0.4\n"
+            "        mvno: 0.6\n"
+            "  - vsf: ul_scheduling\n"
+            "    behavior: local_fair_ul\n")
+        assert parse(text) == {"mac": [
+            {"vsf": "dl_scheduling", "behavior": "local_pf",
+             "parameters": {"fractions": {"mno": 0.4, "mvno": 0.6}}},
+            {"vsf": "ul_scheduling", "behavior": "local_fair_ul"},
+        ]}
+
+    def test_sequence_item_with_list_parameter(self):
+        text = ("mac:\n"
+                "  - vsf: dl_scheduling\n"
+                "    parameters:\n"
+                "      abs_subframes:\n"
+                "        - 1\n"
+                "        - 3\n")
+        doc = parse(text)
+        assert doc["mac"][0]["parameters"]["abs_subframes"] == [1, 3]
+
+
+class TestErrors:
+    @pytest.mark.parametrize("bad", [
+        "key: [1, 2]",           # flow style unsupported
+        "\ttabbed: 1",           # tab indentation
+        "a: 1\na: 2",            # duplicate keys
+        "- item\nkey: value",    # sequence then mapping at same level
+        "just a scalar line",    # no key
+    ])
+    def test_rejected(self, bad):
+        with pytest.raises(PolicyParseError):
+            parse(bad)
+
+    def test_error_carries_line_number(self):
+        with pytest.raises(PolicyParseError) as err:
+            parse("ok: 1\nbroken")
+        assert "line 2" in str(err.value)
+
+
+class TestDumps:
+    def test_roundtrip_mapping(self):
+        data = {"mac": [{"vsf": "dl", "behavior": "pf",
+                         "parameters": {"alpha": 0.5, "flag": True}}]}
+        assert parse(dumps(data)) == data
+
+    @given(st.dictionaries(
+        st.text(alphabet="abcdefgh_", min_size=1, max_size=8),
+        st.one_of(st.integers(min_value=-100, max_value=100),
+                  st.booleans(),
+                  st.text(alphabet="xyz", min_size=1, max_size=5)),
+        min_size=1, max_size=5))
+    def test_roundtrip_property(self, data):
+        assert parse(dumps(data)) == data
+
+
+class TestPolicyDocument:
+    def test_from_text(self):
+        doc = PolicyDocument.from_text(
+            "mac:\n  - vsf: dl_scheduling\n    behavior: sliced\n")
+        assert doc.modules["mac"][0].vsf == "dl_scheduling"
+        assert doc.modules["mac"][0].behavior == "sliced"
+        assert doc.modules["mac"][0].parameters == {}
+
+    def test_to_text_roundtrip(self):
+        doc = PolicyDocument(modules={"mac": [VsfPolicy(
+            vsf="dl_scheduling", behavior="sliced",
+            parameters={"fractions": {"mno": 0.8, "mvno": 0.2}})]})
+        again = PolicyDocument.from_text(doc.to_text())
+        assert again == doc
+
+    def test_build_policy_helper(self):
+        text = build_policy("mac", "dl_scheduling", behavior="local_pf",
+                            parameters={"ewma_alpha": 0.1})
+        doc = PolicyDocument.from_text(text)
+        assert doc.modules["mac"][0].behavior == "local_pf"
+        assert doc.modules["mac"][0].parameters == {"ewma_alpha": 0.1}
+
+    @pytest.mark.parametrize("bad", [
+        "mac: 5",                                 # module not a sequence
+        "mac:\n  - behavior: x",                  # missing vsf key
+        "mac:\n  - vsf: x\n    bogus: 1",         # unknown key
+        "mac:\n  - vsf: x\n    parameters: 5",    # params not mapping
+        "- just\n- a\n- list",                    # top level not mapping
+    ])
+    def test_invalid_documents_rejected(self, bad):
+        with pytest.raises(PolicyParseError):
+            PolicyDocument.from_text(bad)

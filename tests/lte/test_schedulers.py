@@ -1,0 +1,229 @@
+"""Tests for downlink scheduling algorithms, including invariants."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.lte.mac.dci import PendingRetx, SchedulingContext, UeView
+from repro.lte.mac.schedulers import (
+    FairShareScheduler,
+    GroupScheduler,
+    MaxCqiScheduler,
+    NullScheduler,
+    ProportionalFairScheduler,
+    RoundRobinScheduler,
+    SlicedScheduler,
+    make_scheduler,
+    schedule_retransmissions,
+)
+
+
+def ctx_with(ues, n_prb=50, tti=0, pending_retx=None):
+    return SchedulingContext(tti=tti, n_prb=n_prb, ues=ues,
+                             pending_retx=pending_retx or [])
+
+
+def views(n, queue=10 ** 6, cqi=10, labels=None):
+    return [UeView(rnti=70 + i, queue_bytes=queue, cqi=cqi,
+                   labels=dict(labels or {})) for i in range(n)]
+
+
+ALL_SCHEDULERS = [RoundRobinScheduler, FairShareScheduler,
+                  ProportionalFairScheduler, MaxCqiScheduler]
+
+
+@pytest.mark.parametrize("cls", ALL_SCHEDULERS)
+class TestCommonInvariants:
+    def test_never_oversubscribes(self, cls):
+        out = cls()(ctx_with(views(8), n_prb=50))
+        assert sum(a.n_prb for a in out) <= 50
+
+    def test_empty_cell_schedules_nothing(self, cls):
+        assert cls()(ctx_with([])) == []
+
+    def test_skips_cqi0_ues(self, cls):
+        out = cls()(ctx_with(views(3, cqi=0)))
+        assert out == []
+
+    def test_skips_empty_queues(self, cls):
+        out = cls()(ctx_with(views(3, queue=0)))
+        assert out == []
+
+    def test_retransmissions_first(self, cls):
+        retx = [PendingRetx(rnti=99, harq_pid=1, n_prb=10, cqi_used=9,
+                            tb_bits=5000, attempt=2)]
+        out = cls()(ctx_with(views(2), pending_retx=retx))
+        assert out[0].is_retx and out[0].rnti == 99 and out[0].harq_pid == 1
+
+
+class TestRoundRobin:
+    def test_saturated_rotates_between_ttis(self):
+        sched = RoundRobinScheduler()
+        first = sched(ctx_with(views(3), tti=0))
+        second = sched(ctx_with(views(3), tti=1))
+        assert first[0].rnti != second[0].rnti
+
+    def test_small_queues_pack_multiple_ues(self):
+        out = RoundRobinScheduler()(ctx_with(views(3, queue=500)))
+        assert len(out) == 3
+
+    def test_eventually_serves_everyone(self):
+        sched = RoundRobinScheduler()
+        served = set()
+        for tti in range(10):
+            for a in sched(ctx_with(views(5), tti=tti)):
+                served.add(a.rnti)
+        assert served == {70, 71, 72, 73, 74}
+
+
+class TestFairShare:
+    def test_equal_split_saturated(self):
+        out = FairShareScheduler()(ctx_with(views(5), n_prb=50))
+        assert len(out) == 5
+        assert all(a.n_prb == 10 for a in out)
+
+    def test_more_ues_than_prbs(self):
+        out = FairShareScheduler()(ctx_with(views(60, queue=10 ** 6), n_prb=50))
+        assert sum(a.n_prb for a in out) <= 50
+        assert all(a.n_prb >= 1 for a in out)
+
+
+class TestProportionalFair:
+    def test_favours_better_channel_long_run(self):
+        sched = ProportionalFairScheduler(ewma_alpha=0.1)
+        good = UeView(rnti=70, queue_bytes=10 ** 9, cqi=15)
+        bad = UeView(rnti=71, queue_bytes=10 ** 9, cqi=3)
+        served_bits = {70: 0, 71: 0}
+        for tti in range(500):
+            for a in sched(ctx_with([good, bad])):
+                served_bits[a.rnti] += a.n_prb * a.cqi_used
+        assert served_bits[70] > served_bits[71]
+
+    def test_does_not_starve_weak_ue(self):
+        sched = ProportionalFairScheduler(ewma_alpha=0.1)
+        good = UeView(rnti=70, queue_bytes=10 ** 9, cqi=15)
+        bad = UeView(rnti=71, queue_bytes=10 ** 9, cqi=3)
+        served = {70: 0, 71: 0}
+        for tti in range(500):
+            for a in sched(ctx_with([good, bad])):
+                served[a.rnti] += 1
+        assert served[71] > 0
+
+    def test_parameter_reconfiguration(self):
+        sched = ProportionalFairScheduler()
+        sched.set_parameter("ewma_alpha", 0.5)
+        assert sched.parameters["ewma_alpha"] == 0.5
+        with pytest.raises(KeyError):
+            sched.set_parameter("nope", 1)
+
+    def test_invalid_alpha_rejected(self):
+        with pytest.raises(ValueError):
+            ProportionalFairScheduler(ewma_alpha=0.0)
+
+
+class TestMaxCqi:
+    def test_best_channel_served_first(self):
+        ues = [UeView(rnti=70, queue_bytes=10 ** 9, cqi=5),
+               UeView(rnti=71, queue_bytes=10 ** 9, cqi=15)]
+        out = MaxCqiScheduler()(ctx_with(ues))
+        assert out[0].rnti == 71
+
+
+class TestSliced:
+    def test_respects_fractions(self):
+        sched = SlicedScheduler({"mno": 0.7, "mvno": 0.3})
+        ues = (views(3, labels={"operator": "mno"})
+               + [UeView(rnti=80 + i, queue_bytes=10 ** 6, cqi=10,
+                         labels={"operator": "mvno"}) for i in range(3)])
+        out = sched(ctx_with(ues, n_prb=50))
+        mno_prbs = sum(a.n_prb for a in out if a.rnti < 80)
+        mvno_prbs = sum(a.n_prb for a in out if a.rnti >= 80)
+        assert mno_prbs == 35
+        assert mvno_prbs == 15
+
+    def test_runtime_fraction_change(self):
+        sched = SlicedScheduler({"mno": 0.7, "mvno": 0.3})
+        sched.set_parameter("fractions", {"mno": 0.4, "mvno": 0.6})
+        ues = (views(2, labels={"operator": "mno"})
+               + [UeView(rnti=90, queue_bytes=10 ** 6, cqi=10,
+                         labels={"operator": "mvno"})])
+        out = sched(ctx_with(ues, n_prb=50))
+        mvno_prbs = sum(a.n_prb for a in out if a.rnti == 90)
+        assert mvno_prbs == 30
+
+    def test_unlabelled_ues_not_scheduled(self):
+        sched = SlicedScheduler({"mno": 1.0})
+        out = sched(ctx_with(views(2)))  # no operator label
+        assert out == []
+
+    def test_invalid_fractions_rejected(self):
+        with pytest.raises(ValueError):
+            SlicedScheduler({"a": 0.7, "b": 0.5})
+        with pytest.raises(ValueError):
+            SlicedScheduler({})
+        with pytest.raises(ValueError):
+            SlicedScheduler({"a": -0.1})
+
+    def test_per_slice_policies(self):
+        sched = SlicedScheduler({"mno": 0.5, "mvno": 0.5},
+                                policies={"mvno": "group_based"})
+        assert isinstance(sched.inner_scheduler("mvno"), GroupScheduler)
+        assert isinstance(sched.inner_scheduler("mno"), FairShareScheduler)
+
+
+class TestGroup:
+    def test_premium_gets_more(self):
+        sched = GroupScheduler(premium_fraction=0.7)
+        ues = ([UeView(rnti=70 + i, queue_bytes=10 ** 6, cqi=10,
+                       labels={"group": "premium"}) for i in range(2)]
+               + [UeView(rnti=80 + i, queue_bytes=10 ** 6, cqi=10,
+                         labels={"group": "secondary"}) for i in range(2)])
+        out = sched(ctx_with(ues, n_prb=50))
+        premium = sum(a.n_prb for a in out if a.rnti < 80)
+        secondary = sum(a.n_prb for a in out if a.rnti >= 80)
+        assert premium == 35 and secondary == 15
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            GroupScheduler(premium_fraction=1.5)
+
+
+class TestRegistry:
+    def test_make_scheduler(self):
+        assert isinstance(make_scheduler("round_robin"), RoundRobinScheduler)
+        assert isinstance(make_scheduler("null"), NullScheduler)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ValueError):
+            make_scheduler("bogus")
+
+
+class TestRetransmissionHelper:
+    def test_budget_respected(self):
+        retx = [PendingRetx(rnti=70, harq_pid=0, n_prb=30, cqi_used=9,
+                            tb_bits=1, attempt=2),
+                PendingRetx(rnti=71, harq_pid=0, n_prb=30, cqi_used=9,
+                            tb_bits=1, attempt=2)]
+        out = schedule_retransmissions(ctx_with([], pending_retx=retx), 50)
+        assert len(out) == 1  # second does not fit
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n_prb=st.integers(min_value=1, max_value=100),
+    queues=st.lists(st.integers(min_value=0, max_value=10 ** 7),
+                    min_size=0, max_size=30),
+    cqis=st.lists(st.integers(min_value=0, max_value=15),
+                  min_size=30, max_size=30),
+    which=st.sampled_from(["round_robin", "fair_share",
+                           "proportional_fair", "max_cqi"]),
+)
+def test_property_no_scheduler_oversubscribes(n_prb, queues, cqis, which):
+    ues = [UeView(rnti=70 + i, queue_bytes=q, cqi=cqis[i])
+           for i, q in enumerate(queues)]
+    out = make_scheduler(which)(ctx_with(ues, n_prb=n_prb))
+    assert sum(a.n_prb for a in out) <= n_prb
+    scheduled = [a.rnti for a in out if not a.is_retx]
+    assert len(scheduled) == len(set(scheduled))  # one DCI per UE
+    for a in out:
+        ue = next(u for u in ues if u.rnti == a.rnti)
+        assert ue.queue_bytes > 0 and ue.cqi > 0

@@ -1,0 +1,73 @@
+"""Tests for transport block sizing and the capacity calibration."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.lte.phy.tbs import capacity_mbps, prbs_needed, transport_block_bits
+
+
+class TestTransportBlockBits:
+    def test_zero_for_cqi0(self):
+        assert transport_block_bits(0, 50) == 0
+
+    def test_zero_for_zero_prbs(self):
+        assert transport_block_bits(15, 0) == 0
+
+    def test_negative_prbs_rejected(self):
+        with pytest.raises(ValueError):
+            transport_block_bits(15, -1)
+
+    @given(st.integers(min_value=1, max_value=15),
+           st.integers(min_value=1, max_value=100))
+    def test_monotone_in_prbs(self, cqi, n_prb):
+        assert (transport_block_bits(cqi, n_prb)
+                <= transport_block_bits(cqi, n_prb + 1))
+
+    @given(st.integers(min_value=1, max_value=14),
+           st.integers(min_value=1, max_value=100))
+    def test_monotone_in_cqi(self, cqi, n_prb):
+        assert (transport_block_bits(cqi, n_prb)
+                <= transport_block_bits(cqi + 1, n_prb))
+
+    @given(st.integers(min_value=1, max_value=15),
+           st.integers(min_value=1, max_value=100))
+    def test_uplink_derated(self, cqi, n_prb):
+        assert (transport_block_bits(cqi, n_prb, uplink=True)
+                < transport_block_bits(cqi, n_prb))
+
+
+class TestCalibration:
+    """The model is calibrated against the paper's measured ceilings."""
+
+    def test_downlink_ceiling_near_25_mbps(self):
+        # Section 5.4: the testbed tops out around 25 Mb/s downlink.
+        assert capacity_mbps(15, 50) == pytest.approx(25.0, rel=0.03)
+
+    def test_uplink_ceiling_near_18_mbps(self):
+        # Fig 6b: uplink around 17-18 Mb/s.
+        assert capacity_mbps(15, 50, uplink=True) == pytest.approx(18.0, rel=0.05)
+
+    def test_cqi_ratio_matches_spectral_efficiency(self):
+        ratio = capacity_mbps(10, 50) / capacity_mbps(2, 50)
+        assert ratio == pytest.approx(2.7305 / 0.2344, rel=0.02)
+
+
+class TestPrbsNeeded:
+    def test_zero_bits_needs_zero_prbs(self):
+        assert prbs_needed(12, 0) == 0
+
+    def test_cqi0_rejected(self):
+        with pytest.raises(ValueError):
+            prbs_needed(0, 1000)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ValueError):
+            prbs_needed(12, -1)
+
+    @given(st.integers(min_value=1, max_value=15),
+           st.integers(min_value=1, max_value=10 ** 6))
+    def test_allocation_is_sufficient_and_tight(self, cqi, bits):
+        n = prbs_needed(cqi, bits)
+        assert transport_block_bits(cqi, n) >= bits
+        if n > 1:
+            assert transport_block_bits(cqi, n - 1) < bits

@@ -1,0 +1,70 @@
+"""Tests for the phased simulation clock."""
+
+import pytest
+
+from repro.net.clock import Phase, SimClock
+
+
+class TestSimClock:
+    def test_phases_run_in_order(self):
+        clock = SimClock()
+        order = []
+        clock.register(Phase.RAN, lambda t: order.append("ran"))
+        clock.register(Phase.TRAFFIC, lambda t: order.append("traffic"))
+        clock.register(Phase.MASTER, lambda t: order.append("master"))
+        clock.tick()
+        assert order == ["traffic", "master", "ran"]
+
+    def test_same_phase_registration_order(self):
+        clock = SimClock()
+        order = []
+        clock.register(Phase.RAN, lambda t: order.append("a"))
+        clock.register(Phase.RAN, lambda t: order.append("b"))
+        clock.tick()
+        assert order == ["a", "b"]
+
+    def test_now_advances(self):
+        clock = SimClock()
+        seen = []
+        clock.register(Phase.POST, seen.append)
+        clock.run(5)
+        assert seen == [0, 1, 2, 3, 4]
+        assert clock.now == 5
+
+    def test_subframe_and_frame(self):
+        clock = SimClock()
+        clock.run(23)
+        assert clock.subframe == 3
+        assert clock.frame == 2
+        assert clock.now_ms == 23.0
+
+    def test_run_ms(self):
+        clock = SimClock()
+        clock.run_ms(10.0)
+        assert clock.now == 10
+
+    def test_negative_run_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().run(-1)
+
+    def test_unregister(self):
+        clock = SimClock()
+        seen = []
+        fn = seen.append
+        clock.register(Phase.POST, fn)
+        clock.tick()
+        clock.unregister(Phase.POST, fn)
+        clock.unregister(Phase.POST, fn)  # second removal is a no-op
+        clock.tick()
+        assert seen == [0]
+
+    def test_stop_from_callback(self):
+        clock = SimClock()
+
+        def stopper(t):
+            if t == 2:
+                clock.stop()
+
+        clock.register(Phase.POST, stopper)
+        clock.run(100)
+        assert clock.now == 3  # stops after completing tti 2

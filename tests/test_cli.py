@@ -1,0 +1,35 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import DEMOS, main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "FlexRAN" in out
+        assert "protocol message types: 17" in out
+
+    def test_no_command_prints_help(self, capsys):
+        assert main([]) == 2
+        assert "demo" in capsys.readouterr().out
+
+    def test_unknown_demo_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["demo", "bogus"])
+
+    def test_demo_names_registered(self):
+        assert {"quickstart", "latency", "slicing", "eicic", "dash",
+                "wifi"} == set(DEMOS)
+
+    def test_quickstart_demo_runs(self, capsys):
+        assert main(["demo", "quickstart"]) == 0
+        out = capsys.readouterr().out
+        assert "UE goodput" in out
+
+    def test_wifi_demo_runs(self, capsys):
+        assert main(["demo", "wifi"]) == 0
+        out = capsys.readouterr().out
+        assert "max-rate VSF" in out

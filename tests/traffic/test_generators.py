@@ -1,0 +1,95 @@
+"""Tests for traffic generators."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.traffic.generators import (
+    CbrSource,
+    OnOffSource,
+    PoissonSource,
+    SaturatingSource,
+)
+
+
+class TestCbr:
+    def test_long_run_rate_exact(self):
+        src = CbrSource(8.0)  # 1000 B/ms
+        total = sum(sum(src.packets(t)) for t in range(10_000))
+        assert total == pytest.approx(10_000 * 1000, rel=0.01)
+
+    def test_sub_packet_rates_accumulate(self):
+        src = CbrSource(0.112, packet_bytes=1400)  # 14 B per TTI
+        total = sum(sum(src.packets(t)) for t in range(1000))
+        assert total == pytest.approx(14_000, rel=0.11)
+
+    def test_start_stop_window(self):
+        src = CbrSource(8.0, start_tti=100, stop_tti=200)
+        assert src.packets(50) == []
+        assert sum(src.packets(150)) > 0 or sum(src.packets(151)) > 0
+        assert src.packets(200) == []
+
+    def test_zero_rate(self):
+        src = CbrSource(0.0)
+        assert all(src.packets(t) == [] for t in range(100))
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            CbrSource(-1.0)
+        with pytest.raises(ValueError):
+            CbrSource(1.0, packet_bytes=0)
+
+    @given(st.floats(min_value=0.01, max_value=100, allow_nan=False))
+    def test_rate_property(self, rate):
+        src = CbrSource(rate)
+        total = sum(sum(src.packets(t)) for t in range(2000))
+        expected = rate * 1000 / 8 * 2000
+        assert total <= expected + 1400
+        assert total >= expected - 1400
+
+
+class TestSaturating:
+    def test_constant_burst(self):
+        src = SaturatingSource(burst_bytes=5000, packet_bytes=1400)
+        pkts = src.packets(0)
+        assert sum(pkts) == 5000
+        assert pkts == [1400, 1400, 1400, 800]
+
+    def test_start_delay(self):
+        src = SaturatingSource(start_tti=10)
+        assert src.packets(9) == []
+        assert src.packets(10)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            SaturatingSource(burst_bytes=0)
+
+
+class TestPoisson:
+    def test_mean_rate(self):
+        src = PoissonSource(8.0, seed=1)
+        total = sum(sum(src.packets(t)) for t in range(20_000))
+        assert total == pytest.approx(20_000 * 1000, rel=0.05)
+
+    def test_deterministic_per_seed(self):
+        a = PoissonSource(5.0, seed=7)
+        b = PoissonSource(5.0, seed=7)
+        assert [a.packets(t) for t in range(100)] == \
+               [b.packets(t) for t in range(100)]
+
+
+class TestOnOff:
+    def test_off_phase_silent(self):
+        src = OnOffSource(8.0, on_ttis=10, off_ttis=10)
+        on_bytes = sum(sum(src.packets(t)) for t in range(10))
+        off_bytes = sum(sum(src.packets(t)) for t in range(10, 20))
+        assert on_bytes > 0
+        assert off_bytes == 0
+
+    def test_duty_cycle_halves_rate(self):
+        src = OnOffSource(8.0, on_ttis=50, off_ttis=50)
+        total = sum(sum(src.packets(t)) for t in range(10_000))
+        assert total == pytest.approx(10_000 * 500, rel=0.05)
+
+    def test_invalid(self):
+        with pytest.raises(ValueError):
+            OnOffSource(1.0, on_ttis=0, off_ttis=5)
