@@ -16,7 +16,6 @@ from __future__ import annotations
 
 from conftest import print_table, run_once
 
-from repro.core.apps.remote_scheduler import RemoteSchedulerApp
 from repro.core.protocol import codec
 from repro.core.protocol.messages import Category, StatsReply, UeStatsReport
 from repro.sim.scenarios import centralized_scheduling

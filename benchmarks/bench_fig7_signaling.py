@@ -11,7 +11,6 @@ growing with UE count and much smaller in absolute terms).
 
 from __future__ import annotations
 
-import pytest
 from conftest import print_table, run_once
 
 from repro.core.protocol.messages import Category

@@ -10,7 +10,6 @@ per-TTI work far below 1 ms for realistic cell sizes).
 
 from __future__ import annotations
 
-import pytest
 
 from repro.core.controller.rib import Rib
 from repro.core.controller.rib_updater import RibUpdater

@@ -15,8 +15,6 @@ import statistics
 from conftest import print_table, run_once
 
 from repro.core.policy import build_policy
-from repro.core.protocol.messages import PolicyReconfiguration
-from repro.lte.phy.tbs import capacity_mbps
 from repro.net.clock import Phase
 from repro.sim.scenarios import centralized_scheduling
 

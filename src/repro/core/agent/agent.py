@@ -17,6 +17,10 @@ from typing import Callable, Dict, List, Optional
 
 from repro.core.agent.api import AgentDataPlaneApi
 from repro.core.agent.cmi import ControlModule
+from repro.core.agent.connection import (
+    ConnectionConfig,
+    ConnectionSupervisor,
+)
 from repro.core.agent.mac_module import MacControlModule
 from repro.core.agent.pdcp_module import PdcpControlModule
 from repro.core.agent.rrc_module import RrcControlModule
@@ -24,6 +28,8 @@ from repro.core.agent.reports import ReportsManager
 from repro.core.delegation import VsfFactoryRegistry, load_vsf
 from repro.core.policy import PolicyDocument
 from repro.core.protocol.messages import (
+    AbsPatternConfig,
+    BearerQosConfig,
     CaCommand,
     ConfigReply,
     ConfigRequest,
@@ -41,6 +47,7 @@ from repro.core.protocol.messages import (
     SetConfig,
     StatsRequest,
     SubframeTrigger,
+    SyncConfig,
     UlMacCommand,
     VsfUpdate,
 )
@@ -49,6 +56,9 @@ from repro.lte.enodeb import EnbEvent, EnbEventType, EnodeB
 from repro.lte.mac.dci import DlAssignment, UlGrant
 
 logger = logging.getLogger(__name__)
+
+EVENT_QUEUE_LIMIT = 256
+"""Events retained while the master is unreachable (oldest dropped)."""
 
 _ENB_EVENT_MAP = {
     EnbEventType.UE_ATTACHED: EventType.UE_ATTACH,
@@ -66,7 +76,9 @@ class FlexRanAgent:
                  endpoint=None,
                  sync_enabled: bool = False,
                  vsf_registry: Optional[VsfFactoryRegistry] = None,
-                 capabilities: Optional[List[str]] = None) -> None:
+                 capabilities: Optional[List[str]] = None,
+                 connection_config: Optional[ConnectionConfig] = None
+                 ) -> None:
         self.agent_id = agent_id
         self.enb = enb
         self.api = AgentDataPlaneApi(enb)
@@ -91,15 +103,33 @@ class FlexRanAgent:
             module.on_vsf_fault(self._on_vsf_fault)
 
         self._hello_sent = False
+        self._last_hello_tti = -(10 ** 9)
         self._xid = 0
         self.config_store: Dict[str, str] = {}
         self.processing_time_s = 0.0
         self.messages_handled = 0
 
+        # Connection supervisor: liveness, local fallback, reconnect.
+        # Only meaningful with an endpoint; it stays dormant until the
+        # master has spoken once.
+        self.connection: Optional[ConnectionSupervisor] = None
+        self._suspended_remote: List[tuple] = []
+        if endpoint is not None:
+            self.connection = ConnectionSupervisor(
+                connection_config,
+                send_keepalive=self._send_keepalive,
+                send_reconnect_probe=self._send_reconnect_probe,
+                on_disconnect=self._enter_local_control,
+                on_reconnect=self._on_reconnected)
+
         self._handlers: Dict[type, Callable[[FlexRanMessage, int], None]] = {
             EchoRequest: self._handle_echo,
+            EchoReply: self._handle_echo_reply,
             ConfigRequest: self._handle_config_request,
             SetConfig: self._handle_set_config,
+            AbsPatternConfig: self._handle_abs_pattern,
+            BearerQosConfig: self._handle_bearer_qos,
+            SyncConfig: self._handle_sync_config,
             StatsRequest: self._handle_stats_request,
             DlMacCommand: self._handle_dl_command,
             UlMacCommand: self._handle_ul_command,
@@ -123,14 +153,44 @@ class FlexRanAgent:
         message.header.tti = now
         self.endpoint.send(message, now=now)
 
+    def _hello_due(self, now: int) -> bool:
+        if not self._hello_sent:
+            return True
+        # Until the master has spoken once, the announcement may have
+        # been lost in transit: keep re-offering it on the keepalive
+        # cadence (connection establishment retry).
+        return (self.connection is not None
+                and not self.connection.armed
+                and now - self._last_hello_tti
+                >= self.connection.config.keepalive_period_ttis)
+
+    def _send_keepalive(self, now: int) -> None:
+        self._send(EchoRequest(header=Header(xid=self._next_xid())), now)
+
+    def _send_reconnect_probe(self, now: int) -> None:
+        # Probing with Hello doubles as re-announcement: the master's
+        # Hello handling triggers a full config resync on reattach.
+        self._send(Hello(header=Header(xid=self._next_xid()),
+                         capabilities=list(self.capabilities),
+                         n_cells=len(self.api.cell_ids)), now)
+
     def tick_tx(self, now: int) -> None:
         """AGENT_TX phase: hello, sync, due reports, queued events."""
         start = time.perf_counter()
-        if self.endpoint is not None and not self._hello_sent:
+        if self.connection is not None and not self.connection.before_tx(now):
+            # Disconnected: the supervisor owns the channel (probes on
+            # its backoff schedule); suppress normal control traffic and
+            # bound the event queue until the master is reachable again.
+            if len(self._event_queue) > EVENT_QUEUE_LIMIT:
+                self._event_queue = self._event_queue[-EVENT_QUEUE_LIMIT:]
+            self.processing_time_s += time.perf_counter() - start
+            return
+        if self.endpoint is not None and self._hello_due(now):
             self._send(Hello(header=Header(xid=self._next_xid()),
                              capabilities=list(self.capabilities),
                              n_cells=len(self.api.cell_ids)), now)
             self._hello_sent = True
+            self._last_hello_tti = now
         if self.sync_enabled:
             self._send(SubframeTrigger(
                 header=Header(xid=self._next_xid()),
@@ -151,8 +211,48 @@ class FlexRanAgent:
             return
         start = time.perf_counter()
         for message in self.endpoint.receive(now=now):
+            if self.connection is not None:
+                self.connection.heard(now)
             self.dispatch(message, now)
         self.processing_time_s += time.perf_counter() - start
+
+    # -- connection resilience --------------------------------------------
+
+    def _enter_local_control(self, now: int) -> None:
+        """Swap remote-stub VSFs for their local fallbacks.
+
+        Called by the connection supervisor on disconnect: any
+        operation currently driven by the master (a VSF listed in its
+        module's ``REMOTE_VSF_NAMES``) reverts to the designated
+        fallback so the cell keeps scheduling instead of idling on
+        decisions that will never arrive.
+        """
+        for module in self.modules.values():
+            for operation in module.OPERATIONS:
+                active = module.active_name(operation)
+                if active is None or active not in module.REMOTE_VSF_NAMES:
+                    continue
+                fallback = module.fallback_name(operation)
+                if fallback is None or fallback == active:
+                    continue
+                self._suspended_remote.append((module, operation, active))
+                module.activate(operation, fallback)
+                logger.warning(
+                    "agent %d: %s.%s falls back %s -> %s (master lost)",
+                    self.agent_id, module.name, operation, active, fallback)
+
+    def _on_reconnected(self, now: int) -> None:
+        """Restore suspended remote VSFs and re-announce to the master."""
+        suspended, self._suspended_remote = self._suspended_remote, []
+        for module, operation, name in suspended:
+            if name in module.cached_names(operation):
+                module.activate(operation, name)
+                logger.info("agent %d: %s.%s restored to %s (reconnected)",
+                            self.agent_id, module.name, operation, name)
+        # Re-announce so the master resynchronizes configuration even if
+        # the reconnect was triggered by inbound traffic rather than one
+        # of our Hello probes.
+        self._hello_sent = False
 
     def dispatch(self, message: FlexRanMessage, now: int) -> None:
         """Route one protocol message to its handler (message handler
@@ -170,6 +270,10 @@ class FlexRanAgent:
     def _handle_echo(self, message: EchoRequest, now: int) -> None:
         self._send(EchoReply(header=Header(xid=message.header.xid)), now)
 
+    def _handle_echo_reply(self, message: EchoReply, now: int) -> None:
+        # Keepalive answer: liveness already noted in tick_rx.
+        pass
+
     def _handle_config_request(self, message: ConfigRequest, now: int) -> None:
         reply = ConfigReply(
             header=Header(xid=message.header.xid),
@@ -182,7 +286,27 @@ class FlexRanAgent:
             reply.cells = []
         self._send(reply, now)
 
+    def _handle_abs_pattern(self, message: AbsPatternConfig,
+                            now: int) -> None:
+        self.api.set_abs_pattern(message.cell_id, list(message.subframes))
+
+    def _handle_bearer_qos(self, message: BearerQosConfig, now: int) -> None:
+        from repro.lte.mac.qos import QosProfile
+        gbr = message.gbr_kbps / 1000.0 if message.gbr_kbps else None
+        profile = QosProfile(qci=message.qci, gbr_mbps=gbr)
+        self.api.configure_bearer(message.rnti, message.lcid, profile)
+
+    def _handle_sync_config(self, message: SyncConfig, now: int) -> None:
+        self.sync_enabled = message.enabled
+
     def _handle_set_config(self, message: SetConfig, now: int) -> None:
+        """Generic key/value configuration.
+
+        The ``abs_pattern``, ``bearer_qos`` and ``sync`` keys are
+        deprecated string encodings kept for older controllers; new
+        code sends the typed :class:`AbsPatternConfig`,
+        :class:`BearerQosConfig` and :class:`SyncConfig` messages.
+        """
         for key, value in message.entries.items():
             if key == "abs_pattern":
                 pattern = [int(s) for s in value.split(",") if s != ""]

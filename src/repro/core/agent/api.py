@@ -11,8 +11,7 @@ hooks.  Neither the agent's control modules nor the master ever touch
 
 from __future__ import annotations
 
-import math
-from typing import Callable, Dict, List, Optional
+from typing import Callable, List, Optional
 
 from repro.core.protocol.messages import (
     CellConfigRep,
@@ -21,7 +20,6 @@ from repro.core.protocol.messages import (
     UeStatsReport,
 )
 from repro.lte.enodeb import DlSchedulerHook, EnbEvent, EnodeB, UlSchedulerHook
-from repro.lte.mac.dci import DlAssignment
 from repro.lte.rrc import RrcState
 
 SUBBANDS = 9

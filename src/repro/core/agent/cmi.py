@@ -85,6 +85,10 @@ class ControlModule(abc.ABC):
     name: str = "module"
     #: The CMI: operation names this module supports.
     OPERATIONS: tuple = ()
+    #: VSF names that only function with a live master connection
+    #: (remote stubs); the connection supervisor swaps these for their
+    #: fallbacks while disconnected.
+    REMOTE_VSF_NAMES: frozenset = frozenset()
 
     def __init__(self, *, sandbox: Optional[SandboxPolicy] = None) -> None:
         self._slots: Dict[str, VsfSlot] = {
@@ -151,6 +155,9 @@ class ControlModule(abc.ABC):
 
     def active_name(self, operation: str) -> Optional[str]:
         return self._slot(operation).active_name
+
+    def fallback_name(self, operation: str) -> Optional[str]:
+        return self._slot(operation).fallback_name
 
     def cached_names(self, operation: str) -> List[str]:
         return sorted(self._slot(operation).cache)

@@ -139,6 +139,7 @@ class MacControlModule(ControlModule):
 
     name = "mac"
     OPERATIONS = ("dl_scheduling", "ul_scheduling")
+    REMOTE_VSF_NAMES = frozenset({"remote_stub", "remote_stub_ul"})
 
     def __init__(self, api: AgentDataPlaneApi, *,
                  sandbox: Optional[SandboxPolicy] = None) -> None:

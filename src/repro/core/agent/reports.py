@@ -10,7 +10,7 @@ requested report".
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.agent.api import AgentDataPlaneApi

@@ -11,7 +11,7 @@ before-break variant pushed from the master.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Optional
+from typing import Any, Dict
 
 from repro.core.agent.api import AgentDataPlaneApi
 from repro.core.agent.cmi import ControlModule

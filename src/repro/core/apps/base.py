@@ -12,7 +12,7 @@ both patterns.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Iterable, Optional, Set
+from typing import TYPE_CHECKING, Set
 
 from repro.core.protocol.messages import EventNotification, EventType
 

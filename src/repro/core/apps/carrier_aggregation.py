@@ -13,7 +13,7 @@ aggregation is waste).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Set, Tuple
 
 from repro.core.apps.base import App
 from repro.core.controller.northbound import NorthboundApi

@@ -24,7 +24,7 @@ code.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Set
+from typing import Iterable, List, Sequence, Set
 
 from repro.core.apps.base import App
 from repro.core.controller.northbound import NorthboundApi

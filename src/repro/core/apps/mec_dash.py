@@ -10,7 +10,7 @@ channel to the modified DASH client (:class:`AssistedAbr`).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.apps.base import App

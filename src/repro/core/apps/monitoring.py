@@ -8,7 +8,7 @@ also what several benchmark harnesses read out.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.core.apps.base import App

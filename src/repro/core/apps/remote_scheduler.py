@@ -24,11 +24,11 @@ channels.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.apps.base import App
 from repro.core.controller.northbound import NorthboundApi
-from repro.core.controller.rib import AgentNode, CellNode
+from repro.core.controller.rib import AgentLiveness, AgentNode, CellNode
 from repro.core.protocol.messages import ReportType, StatsFlags
 from repro.lte.mac.dci import SchedulingContext, UeView, UlGrant
 from repro.lte.mac.schedulers import FairShareScheduler, Scheduler
@@ -40,6 +40,10 @@ _ACTIVE_STATES = {
     list(RrcState).index(RrcState.CONNECTING),
     list(RrcState).index(RrcState.CONNECTED),
 }
+
+RESUBSCRIBE_AFTER_TTIS = 500
+"""If no stats report lands for this long after subscribing, the
+subscription is assumed lost (lossy control channel) and re-sent."""
 
 
 class RemoteSchedulerApp(App):
@@ -69,16 +73,25 @@ class RemoteSchedulerApp(App):
         self.schedule_uplink = schedule_uplink
         self._only_agents = set(agents) if agents is not None else None
         self._inflight_ttl_margin = inflight_ttl_margin
-        self._subscribed: Set[int] = set()
+        #: agent_id -> TTI of the (latest) subscription request.
+        self._subscribed: Dict[int, int] = {}
         # rnti -> deque of (expire_tti, bytes) decisions in flight.
         self._inflight: Dict[int, Deque[Tuple[int, int]]] = {}
         self.decisions_sent = 0
 
     # -- setup ------------------------------------------------------------
 
-    def _ensure_subscribed(self, agent_id: int, nb: NorthboundApi) -> None:
-        if agent_id in self._subscribed:
-            return
+    def _ensure_subscribed(self, agent: AgentNode, nb: NorthboundApi,
+                           tti: int) -> None:
+        agent_id = agent.agent_id
+        subscribed_tti = self._subscribed.get(agent_id)
+        if subscribed_tti is not None:
+            freshest = max((c.stats_tti for c in agent.cells.values()),
+                           default=-1)
+            if max(subscribed_tti, freshest) > tti - RESUBSCRIBE_AFTER_TTIS:
+                return
+            # No report within the grace window: the request probably
+            # never reached the agent (lossy channel) -- retry.
         nb.request_stats(agent_id, report_type=ReportType.PERIODIC,
                          period_ttis=self.stats_period_ttis,
                          flags=int(StatsFlags.FULL))
@@ -90,7 +103,7 @@ class RemoteSchedulerApp(App):
         if self.schedule_uplink:
             nb.reconfigure_vsf(agent_id, "mac", "ul_scheduling",
                                behavior="remote_stub_ul")
-        self._subscribed.add(agent_id)
+        self._subscribed[agent_id] = tti
 
     # -- per-TTI decision ---------------------------------------------------
 
@@ -99,7 +112,12 @@ class RemoteSchedulerApp(App):
             if (self._only_agents is not None
                     and agent.agent_id not in self._only_agents):
                 continue
-            self._ensure_subscribed(agent.agent_id, nb)
+            if agent.liveness is AgentLiveness.DEAD:
+                # The agent fell back to local control; pushing
+                # decisions at a dead endpoint only wastes the wire.
+                # STALE agents still get commands (they may arrive).
+                continue
+            self._ensure_subscribed(agent, nb, tti)
             estimate = agent.estimated_subframe(tti)
             sync_lag = max(0, tti - estimate)
             target = estimate + self.schedule_ahead

@@ -13,8 +13,8 @@ runtime -- no eNodeB restart, transparently to the UEs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
 
 from repro.core.apps.base import App
 from repro.core.controller.northbound import NorthboundApi

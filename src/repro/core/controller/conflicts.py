@@ -68,23 +68,27 @@ class ConflictResolver:
         if retention_ttis <= 0:
             raise ValueError(
                 f"retention must be positive, got {retention_ttis}")
-        self._admitted: Dict[Tuple[int, int, int], AdmittedDecision] = {}
+        self._admitted: Dict[Tuple[str, int, int, int],
+                             AdmittedDecision] = {}
         self.retention_ttis = retention_ttis
         self.counters = ConflictCounters()
 
     def admit(self, agent_id: int, cell_id: int, target_tti: int,
               assignments: Sequence[DciSpec], *,
-              n_prb_limit: Optional[int], priority: int, now: int
+              n_prb_limit: Optional[int], priority: int, now: int,
+              kind: str = "dl"
               ) -> Tuple[ConflictOutcome, List[DciSpec]]:
         """Arbitrate one command.
 
         Returns the outcome and the assignment list to actually send:
         for MERGED/REPLACED outcomes this is the full (merged or
         replacing) decision the agent should hold for the target TTI;
-        for DENIED it is empty.
+        for DENIED it is empty.  ``kind`` namespaces the admission
+        table: downlink and uplink allocations of the same target TTI
+        use disjoint PRB budgets and never conflict with each other.
         """
         self._gc(now)
-        key = (agent_id, cell_id, target_tti)
+        key = (kind, agent_id, cell_id, target_tti)
         incoming = list(assignments)
         existing = self._admitted.get(key)
 
@@ -114,7 +118,7 @@ class ConflictResolver:
 
     def _gc(self, now: int) -> None:
         horizon = now - self.retention_ttis
-        stale = [key for key in self._admitted if key[2] < horizon]
+        stale = [key for key in self._admitted if key[3] < horizon]
         for key in stale:
             del self._admitted[key]
 

@@ -23,7 +23,7 @@ from repro.core.apps.base import App
 from repro.core.controller.events import EventNotificationService
 from repro.core.controller.northbound import NorthboundApi
 from repro.core.controller.registry import RegistryService, Registration
-from repro.core.controller.rib import Rib
+from repro.core.controller.rib import AgentLiveness, Rib
 from repro.core.controller.rib_updater import RibUpdater
 from repro.core.controller.task_manager import (
     DEFAULT_TTI_BUDGET_MS,
@@ -31,9 +31,12 @@ from repro.core.controller.task_manager import (
     TaskManager,
 )
 from repro.core.protocol.messages import (
+    EchoReply,
+    EchoRequest,
     EventNotification,
     EventType,
     FlexRanMessage,
+    Header,
     Hello,
 )
 from repro.net.transport import ProtocolEndpoint
@@ -47,6 +50,10 @@ ECHO_PERIOD_TTIS = 500
 LIVENESS_TIMEOUT_TTIS = 1500
 """Silence threshold after which an agent is declared dead."""
 
+DEAD_GC_TTIS = 10_000
+"""Silence threshold after which a dead, detached agent's RIB subtree
+is garbage-collected."""
+
 
 class MasterController:
     """The brain of the FlexRAN control plane."""
@@ -55,7 +62,9 @@ class MasterController:
                  tti_budget_ms: float = DEFAULT_TTI_BUDGET_MS,
                  updater_share: float = DEFAULT_UPDATER_SHARE,
                  echo_period_ttis: int = ECHO_PERIOD_TTIS,
-                 liveness_timeout_ttis: int = LIVENESS_TIMEOUT_TTIS) -> None:
+                 liveness_timeout_ttis: int = LIVENESS_TIMEOUT_TTIS,
+                 stale_after_ttis: Optional[int] = None,
+                 dead_gc_ttis: int = DEAD_GC_TTIS) -> None:
         self.rib = Rib()
         self.updater = RibUpdater(self.rib)
         self.registry = RegistryService()
@@ -75,8 +84,24 @@ class MasterController:
                 f"(got {liveness_timeout_ttis} <= {echo_period_ttis})")
         self.echo_period_ttis = echo_period_ttis
         self.liveness_timeout_ttis = liveness_timeout_ttis
+        # STALE is an intermediate warning state between "current" and
+        # "dead"; by default it coincides with the first echo probe.
+        self.stale_after_ttis = (stale_after_ttis if stale_after_ttis
+                                 is not None else echo_period_ttis)
+        if not (0 < self.stale_after_ttis < liveness_timeout_ttis):
+            raise ValueError(
+                "stale threshold must fall between 0 and the liveness "
+                f"timeout (got {self.stale_after_ttis})")
+        if dead_gc_ttis < liveness_timeout_ttis:
+            raise ValueError(
+                "GC threshold must be >= the liveness timeout "
+                f"(got {dead_gc_ttis} < {liveness_timeout_ttis})")
+        self.dead_gc_ttis = dead_gc_ttis
         self._last_echo_sent: Dict[int, int] = {}
+        self._last_config_request: Dict[int, int] = {}
         self.agents_declared_dead = 0
+        self.agent_reattaches = 0
+        self.agents_garbage_collected = 0
 
     # -- wiring -----------------------------------------------------------
 
@@ -140,27 +165,64 @@ class MasterController:
     def _note_alive(self, agent_id: int) -> None:
         node = self.rib.get_or_create_agent(agent_id)
         node.last_heard_tti = self.now
-        if not node.alive:
-            node.alive = True  # the agent came back
+        was_dead = not node.alive
+        node.set_liveness(AgentLiveness.ACTIVE, self.now)
+        if was_dead:
+            # Reattach: the agent's RIB subtree may be arbitrarily
+            # stale, so resynchronize configuration immediately.
+            self.agent_reattaches += 1
             logger.warning("master: agent %d is reachable again",
                            agent_id)
+            if agent_id in self._endpoints:
+                self._request_config(agent_id)
+
+    def _request_config(self, agent_id: int) -> None:
+        self.northbound.request_config(agent_id, scope="enb")
+        self._last_config_request[agent_id] = self.now
 
     def _check_liveness(self) -> None:
-        """Probe quiet agents; declare dead ones after the timeout."""
+        """Probe quiet agents; mark stale/dead ones; GC detached ones."""
         for agent_id in self.rib.agent_ids():
-            if agent_id not in self._endpoints:
-                continue
             node = self.rib.agent(agent_id)
             if node.last_heard_tti < 0:
                 continue
             silent_for = self.now - node.last_heard_tti
+            if (node.liveness is AgentLiveness.DEAD
+                    and silent_for >= self.dead_gc_ttis
+                    and agent_id not in self._endpoints):
+                self.rib.remove_agent(agent_id)
+                self._last_echo_sent.pop(agent_id, None)
+                self._last_config_request.pop(agent_id, None)
+                self.agents_garbage_collected += 1
+                logger.warning("master: garbage-collected detached "
+                               "agent %d", agent_id)
+                continue
+            if agent_id not in self._endpoints:
+                continue
             last_echo = self._last_echo_sent.get(agent_id, -10 ** 9)
             if (silent_for >= self.echo_period_ttis
                     and self.now - last_echo >= self.echo_period_ttis):
                 self.northbound.ping(agent_id)
                 self._last_echo_sent[agent_id] = self.now
-            if node.alive and silent_for >= self.liveness_timeout_ttis:
-                node.alive = False
+            # Config self-heal: a reachable agent whose configuration
+            # never (fully) arrived -- e.g. the reply was lost on a
+            # lossy channel -- gets re-asked on the echo cadence.
+            if (node.liveness is not AgentLiveness.DEAD
+                    and (not node.cells
+                         or any(c.config is None
+                                for c in node.cells.values()))):
+                last_req = self._last_config_request.get(
+                    agent_id, -10 ** 9)
+                if self.now - last_req >= self.echo_period_ttis:
+                    self._request_config(agent_id)
+            if (node.liveness is AgentLiveness.ACTIVE
+                    and silent_for >= self.stale_after_ttis):
+                node.set_liveness(AgentLiveness.STALE, self.now)
+                logger.info("master: agent %d marked stale after %d "
+                            "TTIs of silence", agent_id, silent_for)
+            if (node.liveness is not AgentLiveness.DEAD
+                    and silent_for >= self.liveness_timeout_ttis):
+                node.set_liveness(AgentLiveness.DEAD, self.now)
                 self.agents_declared_dead += 1
                 logger.warning(
                     "master: agent %d declared dead after %d TTIs of "
@@ -172,8 +234,13 @@ class MasterController:
 
     def _react(self, agent_id: int, message: FlexRanMessage) -> None:
         """Protocol-level reactions that keep the RIB view current."""
-        if isinstance(message, Hello):
-            self.northbound.request_config(agent_id, scope="enb")
+        if isinstance(message, EchoRequest):
+            # Agent-side keepalive probe: answer so the agent's
+            # connection supervisor sees the master as alive.
+            self.send(agent_id, EchoReply(
+                header=Header(xid=message.header.xid, tti=self.now)))
+        elif isinstance(message, Hello):
+            self._request_config(agent_id)
         elif isinstance(message, EventNotification):
             if message.event_type in (int(EventType.UE_ATTACH),
                                       int(EventType.ATTACH_FAILED),

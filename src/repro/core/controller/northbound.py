@@ -12,13 +12,15 @@ from __future__ import annotations
 
 import logging
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, List, Optional, Sequence, Union
 
 from repro.core.controller.conflicts import ConflictOutcome, ConflictResolver
 from repro.core.delegation import pack_vsf
 from repro.core.policy import build_policy
 from repro.core.protocol.messages import (
+    AbsPatternConfig,
+    BearerQosConfig,
     CaCommand,
     ConfigRequest,
     DciSpec,
@@ -32,6 +34,7 @@ from repro.core.protocol.messages import (
     SetConfig,
     StatsFlags,
     StatsRequest,
+    SyncConfig,
     UlMacCommand,
     VsfUpdate,
 )
@@ -49,6 +52,7 @@ class CommandCounters:
     """Outbound command volume (debug/monitoring)."""
 
     dl_commands: int = 0
+    ul_commands: int = 0
     dcis: int = 0
     policies: int = 0
     vsf_updates: int = 0
@@ -86,6 +90,14 @@ class NorthboundApi:
     def agent_ids(self) -> List[int]:
         return self.rib.agent_ids()
 
+    def live_agent_ids(self) -> List[int]:
+        """Agents the master still considers reachable (not DEAD)."""
+        return self._master.live_agent_ids()
+
+    def agent_liveness(self, agent_id: int):
+        """The master's liveness assessment of one agent."""
+        return self.rib.agent(agent_id).liveness
+
     def estimated_agent_tti(self, agent_id: int) -> int:
         """The master's best estimate of an agent's current subframe."""
         return self.rib.agent(agent_id).estimated_subframe(self._master.now)
@@ -116,28 +128,48 @@ class NorthboundApi:
         self.counters.dl_commands += 1
         self.counters.dcis += len(decision)
 
-    def _cell_prb_limit(self, agent_id: int, cell_id: int) -> Optional[int]:
+    def _cell_prb_limit(self, agent_id: int, cell_id: int, *,
+                        direction: str = "dl") -> Optional[int]:
         try:
             cell = self.rib.agent(agent_id).cells.get(cell_id)
         except KeyError:
             return None
         if cell is None or cell.config is None:
             return None
-        return cell.config.n_prb_dl
+        return (cell.config.n_prb_ul if direction == "ul"
+                else cell.config.n_prb_dl)
 
     def send_ul_command(self, agent_id: int, cell_id: int, target_tti: int,
                         grants: Sequence[Union[DlAssignment, DciSpec]]
                         ) -> None:
-        """Push one TTI's centralized uplink-grant decision."""
+        """Push one TTI's centralized uplink-grant decision.
+
+        Symmetric with :meth:`send_dl_command`: the command passes
+        through conflict admission (in the uplink namespace, against
+        the cell's uplink PRB budget) before it is transmitted.
+        """
         specs = [g if isinstance(g, DciSpec)
                  else DciSpec(rnti=g.rnti, n_prb=g.n_prb,
                               cqi_used=g.cqi_used)
                  for g in grants]
+        outcome, decision = self.conflicts.admit(
+            agent_id, cell_id, target_tti, specs,
+            n_prb_limit=self._cell_prb_limit(agent_id, cell_id,
+                                             direction="ul"),
+            priority=self._current_app_priority, now=self._master.now,
+            kind="ul")
+        if outcome is ConflictOutcome.DENIED:
+            logger.warning(
+                "conflict resolver denied an uplink scheduling command "
+                "for agent %d cell %d target %d (priority %d)",
+                agent_id, cell_id, target_tti,
+                self._current_app_priority)
+            return
         self._master.send(agent_id, UlMacCommand(
             header=self._header(), cell_id=cell_id,
-            target_tti=target_tti, grants=specs))
-        self.counters.dl_commands += 1
-        self.counters.dcis += len(specs)
+            target_tti=target_tti, grants=decision))
+        self.counters.ul_commands += 1
+        self.counters.dcis += len(decision)
 
     def send_policy(self, agent_id: int, yaml_text: str) -> None:
         """Send a raw policy reconfiguration document (Fig. 3)."""
@@ -193,21 +225,26 @@ class NorthboundApi:
     def set_abs_pattern(self, agent_id: int, cell_id: int,
                         subframes: Sequence[int]) -> None:
         """Install an eICIC Almost-Blank Subframe pattern on a cell."""
-        self.set_config(agent_id, cell_id, {
-            "abs_pattern": ",".join(str(s) for s in subframes)})
+        self._master.send(agent_id, AbsPatternConfig(
+            header=self._header(), cell_id=cell_id,
+            subframes=list(subframes)))
+        self.counters.config_ops += 1
 
     def set_bearer_qos(self, agent_id: int, cell_id: int, rnti: int,
                        lcid: int, qci: int, *,
                        gbr_mbps: Optional[float] = None) -> None:
         """Provision a bearer's QoS profile on an agent."""
-        value = f"{rnti}:{lcid}:{qci}"
-        if gbr_mbps is not None:
-            value += f":{int(round(gbr_mbps * 1000))}"
-        self.set_config(agent_id, cell_id, {"bearer_qos": value})
+        gbr_kbps = 0 if gbr_mbps is None else int(round(gbr_mbps * 1000))
+        self._master.send(agent_id, BearerQosConfig(
+            header=self._header(), rnti=rnti, lcid=lcid, qci=qci,
+            gbr_kbps=gbr_kbps))
+        self.counters.config_ops += 1
 
     def enable_sync(self, agent_id: int, enabled: bool = True) -> None:
         """Turn per-TTI subframe synchronization on or off at an agent."""
-        self.set_config(agent_id, 0, {"sync": "on" if enabled else "off"})
+        self._master.send(agent_id, SyncConfig(
+            header=self._header(), enabled=enabled))
+        self.counters.config_ops += 1
 
     def send_drx(self, agent_id: int, rnti: int, *,
                  cycle_ttis: int = 0, on_duration_ttis: int = 0,

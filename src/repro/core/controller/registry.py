@@ -9,7 +9,7 @@ Task Manager consults for the set of runnable tasks.
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List
 
 from repro.core.apps.base import App

@@ -10,6 +10,7 @@ the RIB Updater.
 
 from __future__ import annotations
 
+import enum
 import sys
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
@@ -20,6 +21,20 @@ from repro.core.protocol.messages import (
     UeConfigRep,
     UeStatsReport,
 )
+
+
+class AgentLiveness(enum.Enum):
+    """Master-side view of an agent's reachability.
+
+    ACTIVE: heard from recently; its RIB subtree is current.
+    STALE: quiet beyond the echo period; data may be outdated, but
+    apps may still act on it (commands could get through).
+    DEAD: silent beyond the liveness timeout; apps should skip it.
+    """
+
+    ACTIVE = "active"
+    STALE = "stale"
+    DEAD = "dead"
 
 
 @dataclass
@@ -75,12 +90,27 @@ class AgentNode:
     connected_tti: int = -1
     #: Liveness, maintained by the master's keepalive machinery.
     last_heard_tti: int = -1
-    alive: bool = True
+    liveness: AgentLiveness = AgentLiveness.ACTIVE
+    #: (tti, state) log of every liveness transition, oldest first.
+    liveness_history: List[Tuple[int, AgentLiveness]] = field(
+        default_factory=list)
     cells: Dict[int, CellNode] = field(default_factory=dict)
     # Subframe-sync state: the last SubframeTrigger seen and when.
     last_sync_agent_tti: int = -1
     last_sync_rx_tti: int = -1
     last_events: List[Tuple[int, int, int]] = field(default_factory=list)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the master still considers the agent reachable."""
+        return self.liveness is not AgentLiveness.DEAD
+
+    def set_liveness(self, state: AgentLiveness, now: int) -> None:
+        """RIB-Updater/master-only: record a liveness transition."""
+        if state is self.liveness:
+            return
+        self.liveness = state
+        self.liveness_history.append((now, state))
 
     def cell(self, cell_id: Optional[int] = None) -> Optional[CellNode]:
         if cell_id is None:
@@ -124,6 +154,10 @@ class Rib:
         if agent_id not in self._agents:
             self._agents[agent_id] = AgentNode(agent_id=agent_id)
         return self._agents[agent_id]
+
+    def remove_agent(self, agent_id: int) -> None:
+        """Master-only: garbage-collect a dead agent's subtree."""
+        self._agents.pop(agent_id, None)
 
     def agent_ids(self) -> List[int]:
         return sorted(self._agents)

@@ -9,13 +9,14 @@ back through this component.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List
+from dataclasses import dataclass
+from typing import List
 
 from repro.core.controller.rib import AgentNode, CellNode, Rib, UeNode
 from repro.core.protocol.messages import (
     ConfigReply,
     EchoReply,
+    EchoRequest,
     EventNotification,
     FlexRanMessage,
     Hello,
@@ -68,8 +69,8 @@ class RibUpdater:
                 (message.event_type, message.rnti, message.header.tti))
             del agent.last_events[:-EVENT_HISTORY]
             return [message]
-        elif isinstance(message, EchoReply):
-            pass  # liveness only
+        elif isinstance(message, (EchoReply, EchoRequest)):
+            pass  # liveness only (EchoRequest = agent keepalive probe)
         else:
             self.counters.unknown += 1
         return []

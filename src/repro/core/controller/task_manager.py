@@ -20,8 +20,8 @@ Per-cycle wall-clock times of both slots are recorded -- they are the
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Callable, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Optional
 
 from repro.core.controller.events import EventNotificationService
 from repro.core.controller.registry import RegistryService

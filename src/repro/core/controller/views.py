@@ -12,8 +12,8 @@ is there headroom -- without the app walking the forest itself.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 from repro.core.controller.rib import Rib
 from repro.lte.phy.tbs import capacity_mbps

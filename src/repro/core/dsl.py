@@ -36,7 +36,7 @@ Semantics:
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Sequence
 
 from repro.lte.constants import SUBFRAMES_PER_FRAME
 from repro.lte.mac.dci import DlAssignment, SchedulingContext, UeView

@@ -621,11 +621,84 @@ class CaCommand(FlexRanMessage):
                    activate=bool(r.byte()))
 
 
+# -- typed configuration commands ---------------------------------------
+#
+# These replace the stringly-typed SetConfig side-channels (comma-joined
+# ABS patterns, "rnti:lcid:qci:gbr" packed strings, "on"/"off" flags):
+# each configuration intent is its own message with typed fields, so
+# malformed values fail at encode time rather than deep in an agent
+# handler.  SetConfig remains for free-form/forward-compatible keys.
+
+
+@dataclass
+class AbsPatternConfig(FlexRanMessage):
+    """Install an eICIC Almost-Blank Subframe pattern on one cell."""
+
+    MSG_TYPE: ClassVar[int] = 18
+    CATEGORY: ClassVar[str] = Category.COMMANDS
+
+    cell_id: int = 0
+    subframes: List[int] = field(default_factory=list)
+
+    def encode_payload(self, w: Writer) -> None:
+        w.varint(self.cell_id)
+        w.varint_list(self.subframes)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "AbsPatternConfig":
+        return cls(header=header, cell_id=r.varint(),
+                   subframes=r.varint_list())
+
+
+@dataclass
+class BearerQosConfig(FlexRanMessage):
+    """Provision a QoS profile on one radio bearer.
+
+    ``gbr_kbps == 0`` means non-GBR (matching the QCI table's resource
+    types); a GBR QCI requires a positive rate.
+    """
+
+    MSG_TYPE: ClassVar[int] = 19
+    CATEGORY: ClassVar[str] = Category.COMMANDS
+
+    rnti: int = 0
+    lcid: int = 0
+    qci: int = 9
+    gbr_kbps: int = 0
+
+    def encode_payload(self, w: Writer) -> None:
+        (w.varint(self.rnti).varint(self.lcid).varint(self.qci)
+         .varint(self.gbr_kbps))
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "BearerQosConfig":
+        return cls(header=header, rnti=r.varint(), lcid=r.varint(),
+                   qci=r.varint(), gbr_kbps=r.varint())
+
+
+@dataclass
+class SyncConfig(FlexRanMessage):
+    """Turn per-TTI subframe synchronization on or off at an agent."""
+
+    MSG_TYPE: ClassVar[int] = 20
+    CATEGORY: ClassVar[str] = Category.COMMANDS
+
+    enabled: bool = True
+
+    def encode_payload(self, w: Writer) -> None:
+        w.byte(1 if self.enabled else 0)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "SyncConfig":
+        return cls(header=header, enabled=bool(r.byte()))
+
+
 MESSAGE_TYPES = {
     cls.MSG_TYPE: cls for cls in (
         Hello, EchoRequest, EchoReply, ConfigRequest, ConfigReply, SetConfig,
         StatsRequest, StatsReply, SubframeTrigger, EventNotification,
         DlMacCommand, HandoverCommand, VsfUpdate, PolicyReconfiguration,
-        DrxCommand, CaCommand, UlMacCommand)
+        DrxCommand, CaCommand, UlMacCommand, AbsPatternConfig,
+        BearerQosConfig, SyncConfig)
 }
 """Wire discriminator -> message class registry."""

@@ -11,7 +11,7 @@ to a protobuf encoding of the same data.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Tuple
+from typing import Dict, Iterable, List
 
 from repro.core.protocol.errors import DecodeError, EncodeError
 

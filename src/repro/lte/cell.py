@@ -9,7 +9,7 @@ pattern used by eICIC, and the interference wiring between cells.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.lte.constants import (

@@ -11,7 +11,7 @@ gives the energy proxy the energy-saving application optimizes.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 

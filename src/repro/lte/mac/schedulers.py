@@ -20,12 +20,7 @@ import abc
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.lte.mac import amc
-from repro.lte.mac.dci import (
-    DlAssignment,
-    PendingRetx,
-    SchedulingContext,
-    UeView,
-)
+from repro.lte.mac.dci import DlAssignment, SchedulingContext, UeView
 from repro.lte.phy.tbs import prbs_needed, transport_block_bits
 from repro.lte.rlc import RLC_HEADER_BYTES
 

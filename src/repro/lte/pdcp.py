@@ -9,7 +9,7 @@ forwards SDUs into the RLC transmission queues.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 PDCP_HEADER_BYTES = 2

@@ -17,8 +17,8 @@ attachment".
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from dataclasses import dataclass
+from typing import Callable, Dict, List
 
 ATTACH_SIGNALLING_BYTES = 384
 """Bytes of SRB1 signalling (RRC setup + reconfiguration + security)

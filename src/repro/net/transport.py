@@ -48,8 +48,9 @@ class ControlConnection:
     ``downlink`` carries master-to-agent traffic (commands, delegation).
     """
 
-    def __init__(self, *, rtt_ms: float = 0.0, name: str = "conn") -> None:
-        self.channel = DuplexChannel(rtt_ms=rtt_ms, name=name)
+    def __init__(self, *, rtt_ms: float = 0.0, name: str = "conn",
+                 seed: int = 0) -> None:
+        self.channel = DuplexChannel(rtt_ms=rtt_ms, name=name, seed=seed)
         self.agent_side = ProtocolEndpoint(self.channel.uplink,
                                            self.channel.downlink)
         self.master_side = ProtocolEndpoint(self.channel.downlink,
@@ -62,3 +63,29 @@ class ControlConnection:
     def set_rtt_ms(self, rtt_ms: float) -> None:
         """Reconfigure round-trip latency at runtime (the netem knob)."""
         self.channel.set_rtt_ms(rtt_ms)
+
+    # -- fault injection (the netem impairment knobs) ----------------------
+
+    def set_loss(self, probability: float) -> None:
+        """Random per-message loss in both directions."""
+        self.channel.set_loss(probability)
+
+    def set_jitter_ms(self, jitter_ms: float) -> None:
+        """Bounded random extra delay in both directions (FIFO kept)."""
+        self.channel.set_jitter_ms(jitter_ms)
+
+    def fail_at(self, tti: int) -> None:
+        """Script a two-way link failure at *tti*."""
+        self.channel.fail_at(tti)
+
+    def heal_at(self, tti: int) -> None:
+        """Script the link healing at *tti*."""
+        self.channel.heal_at(tti)
+
+    def partition(self, start_tti: int, end_tti: int) -> None:
+        """Script a full partition over ``[start_tti, end_tti)``."""
+        self.channel.partition(start_tti, end_tti)
+
+    def dropped_messages(self) -> int:
+        """Messages lost to faults, both directions."""
+        return self.channel.dropped_messages()

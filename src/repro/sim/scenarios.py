@@ -21,6 +21,8 @@ from repro.core.apps.mec_dash import AssistedClientBinding, MecDashApp
 from repro.core.apps.ran_sharing import RanSharingApp, ShareChange
 from repro.core.apps.remote_scheduler import RemoteSchedulerApp
 from repro.core.agent import FlexRanAgent
+from repro.core.agent.connection import ConnectionConfig
+from repro.core.controller import MasterController
 from repro.core.delegation import VsfFactoryRegistry
 from repro.lte.constants import SUBFRAMES_PER_FRAME
 from repro.lte.enodeb import EnodeB
@@ -28,7 +30,6 @@ from repro.lte.mac.schedulers import Scheduler
 from repro.lte.phy.channel import (
     ChannelModel,
     FixedCqi,
-    GaussMarkovSinr,
     InterferenceChannel,
     SquareWaveCqi,
 )
@@ -138,6 +139,89 @@ def centralized_scheduling(*, n_enbs: int = 1, ues_per_enb: int = 10,
         enbs.append(enb)
         agents.append(agent)
         all_ues.append(ues)
+    return CentralizedScenario(sim=sim, enbs=enbs, agents=agents,
+                               ues_per_enb=all_ues, app=app)
+
+
+# ---------------------------------------------------------------------------
+# Control-plane resilience (partitions, loss, jitter)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class FaultSpec:
+    """Faults to inject on one agent's control connection.
+
+    ``partitions`` is a sequence of ``(start_tti, end_tti)`` windows
+    during which the channel is down in both directions; ``loss`` and
+    ``jitter_ms`` apply for the whole run.
+    """
+
+    loss: float = 0.0
+    jitter_ms: float = 0.0
+    partitions: Sequence[Tuple[int, int]] = ()
+
+    def apply(self, connection) -> None:
+        """Install the faults on a :class:`ControlConnection`."""
+        if self.loss:
+            connection.set_loss(self.loss)
+        if self.jitter_ms:
+            connection.set_jitter_ms(self.jitter_ms)
+        for start, end in self.partitions:
+            connection.partition(start, end)
+
+
+def partitioned_centralized(*, n_enbs: int = 1, ues_per_enb: int = 10,
+                            cqi: int = 12, rtt_ms: float = 4.0,
+                            schedule_ahead: int = 8,
+                            load_factor: float = 1.2,
+                            fault: Optional[FaultSpec] = None,
+                            faulted_agent_index: int = 0,
+                            connection_config: Optional[ConnectionConfig]
+                            = None,
+                            echo_period_ttis: int = 500,
+                            liveness_timeout_ttis: int = 1500,
+                            stale_after_ttis: Optional[int] = None,
+                            seed: int = 0) -> CentralizedScenario:
+    """Centralized scheduling under control-channel faults.
+
+    The Section 5 worst case (per-TTI central scheduling) plus the
+    resilience machinery: agents run a connection supervisor that
+    falls back to local scheduling when the master becomes
+    unreachable, and *fault* is injected on one agent's control
+    connection.  With ``fault=None`` this is the fault-free baseline
+    of the same deployment (supervisor armed, nothing injected).
+    """
+    master = MasterController(realtime=True,
+                              echo_period_ttis=echo_period_ttis,
+                              liveness_timeout_ttis=liveness_timeout_ttis,
+                              stale_after_ttis=stale_after_ttis)
+    sim = Simulation(master=master)
+    app = RemoteSchedulerApp(schedule_ahead=schedule_ahead)
+    master.add_app(app)
+    conn_cfg = connection_config or ConnectionConfig()
+    enbs: List[EnodeB] = []
+    agents: List[FlexRanAgent] = []
+    all_ues: List[List[Ue]] = []
+    per_ue_mbps = load_factor * capacity_mbps(cqi, 50) / max(1, ues_per_enb)
+    for e in range(n_enbs):
+        enb = sim.add_enb(seed=seed + e)
+        agent = sim.add_agent(enb, rtt_ms=rtt_ms,
+                              connection_config=conn_cfg)
+        agent.mac.activate("dl_scheduling", "remote_stub")
+        ues: List[Ue] = []
+        for i in range(ues_per_enb):
+            ue = Ue(f"{e:02d}{i:04d}", FixedCqi(cqi))
+            sim.add_ue(enb, ue)
+            sim.add_downlink_traffic(enb, ue, CbrSource(per_ue_mbps,
+                                                        start_tti=50))
+            ues.append(ue)
+        enbs.append(enb)
+        agents.append(agent)
+        all_ues.append(ues)
+    if fault is not None:
+        agent_id = agents[faulted_agent_index].agent_id
+        fault.apply(sim.connections[agent_id])
     return CentralizedScenario(sim=sim, enbs=enbs, agents=agents,
                                ues_per_enb=all_ues, app=app)
 

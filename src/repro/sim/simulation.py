@@ -19,7 +19,7 @@ Typical use::
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from repro.core.agent import FlexRanAgent
 from repro.core.controller import MasterController
@@ -87,7 +87,8 @@ class Simulation:
 
     def add_agent(self, enb: EnodeB, *, agent_id: Optional[int] = None,
                   rtt_ms: float = 0.0, sync_enabled: bool = False,
-                  vsf_registry: Optional[VsfFactoryRegistry] = None
+                  vsf_registry: Optional[VsfFactoryRegistry] = None,
+                  connection_config=None
                   ) -> FlexRanAgent:
         """Attach a FlexRAN agent to *enb*, connected to the master
         (if any) over an emulated control channel with *rtt_ms*."""
@@ -97,13 +98,15 @@ class Simulation:
             raise ValueError(f"agent {agent_id} already exists")
         endpoint = None
         if self.master is not None:
-            conn = ControlConnection(rtt_ms=rtt_ms, name=f"agent{agent_id}")
+            conn = ControlConnection(rtt_ms=rtt_ms, name=f"agent{agent_id}",
+                                     seed=agent_id)
             self.connections[agent_id] = conn
             self.master.connect_agent(agent_id, conn.master_side)
             endpoint = conn.agent_side
         agent = FlexRanAgent(agent_id, enb, endpoint=endpoint,
                              sync_enabled=sync_enabled,
-                             vsf_registry=vsf_registry)
+                             vsf_registry=vsf_registry,
+                             connection_config=connection_config)
         agent.api.set_handover_executor(self._execute_handover)
         self.agents[agent_id] = agent
         return agent

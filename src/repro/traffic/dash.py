@@ -20,7 +20,7 @@ Two ABR algorithms reproduce the two players of Fig. 11:
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np

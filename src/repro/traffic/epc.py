@@ -10,7 +10,7 @@ management helpers the examples and benchmarks use.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 from repro.lte.enodeb import EnodeB
 from repro.lte.mac.queues import DEFAULT_LCID

@@ -16,8 +16,7 @@ paper predicts:
 
 from __future__ import annotations
 
-import time
-from typing import Callable, Dict, List, Optional
+from typing import Dict, List, Optional
 
 from repro.core.agent.cmi import ControlModule
 from repro.core.policy import PolicyDocument
@@ -37,7 +36,6 @@ from repro.core.agent.reports import ReportsManager
 from repro.wifi.ap import (
     WIFI_MCS_TABLE,
     SlotDecision,
-    Station,
     WifiAp,
     fair_airtime_hook,
 )

@@ -4,7 +4,7 @@ import pytest
 
 from repro.core.agent import FlexRanAgent
 from repro.core.agent.mac_module import RemoteSchedulingStub
-from repro.core.delegation import VsfFactoryRegistry, pack_vsf
+from repro.core.delegation import pack_vsf
 from repro.core.policy import build_policy
 from repro.core.protocol.messages import (
     ConfigReply,

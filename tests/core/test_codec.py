@@ -7,6 +7,9 @@ from repro.core.protocol import codec
 from repro.core.protocol.errors import DecodeError, UnknownMessageType
 from repro.core.protocol.messages import (
     MESSAGE_TYPES,
+    AbsPatternConfig,
+    BearerQosConfig,
+    SyncConfig,
     CaCommand,
     DrxCommand,
     UlMacCommand,
@@ -77,6 +80,11 @@ EXAMPLES = [
     CaCommand(header=Header(), rnti=70, scell_id=11, activate=False),
     UlMacCommand(header=Header(xid=3), cell_id=10, target_tti=700,
                  grants=[DciSpec(rnti=70, n_prb=20, cqi_used=9)]),
+    AbsPatternConfig(header=Header(xid=4), cell_id=10,
+                     subframes=[1, 3, 5, 7]),
+    BearerQosConfig(header=Header(xid=5), rnti=70, lcid=3, qci=1,
+                    gbr_kbps=1500),
+    SyncConfig(header=Header(xid=6), enabled=True),
 ]
 
 

@@ -7,7 +7,7 @@ from repro.core.controller.conflicts import (
     ConflictOutcome,
     ConflictResolver,
 )
-from repro.core.protocol.messages import DciSpec, DlMacCommand
+from repro.core.protocol.messages import DciSpec
 from repro.lte.phy.channel import FixedCqi
 from repro.lte.ue import Ue
 from repro.sim.simulation import Simulation

@@ -12,7 +12,6 @@ from repro.core.controller.task_manager import TaskManager
 from repro.core.protocol.messages import (
     EventNotification,
     EventType,
-    Header,
     ReportType,
 )
 from repro.lte.enodeb import EnodeB

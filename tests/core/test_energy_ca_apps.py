@@ -10,7 +10,7 @@ from repro.lte.phy.channel import FixedCqi
 from repro.lte.phy.tbs import capacity_mbps
 from repro.lte.ue import Ue
 from repro.sim.simulation import Simulation
-from repro.traffic.generators import CbrSource, OnOffSource
+from repro.traffic.generators import CbrSource
 
 
 class TestDrxEnergyApp:

@@ -3,20 +3,14 @@
 import pytest
 
 from repro.core.agent import FlexRanAgent
-from repro.core.apps.remote_scheduler import RemoteSchedulerApp
 from repro.core.controller import MasterController
-from repro.core.protocol.messages import (
-    DciSpec,
-    EchoRequest,
-    UlMacCommand,
-)
+from repro.core.protocol.messages import DciSpec, UlMacCommand
 from repro.lte.enodeb import EnodeB
 from repro.lte.phy.channel import FixedCqi
 from repro.lte.phy.tbs import capacity_mbps
 from repro.lte.ue import Ue
 from repro.net.transport import ControlConnection
 from repro.sim.scenarios import centralized_scheduling
-from repro.sim.simulation import Simulation
 from repro.traffic.generators import SaturatingSource
 
 

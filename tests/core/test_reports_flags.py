@@ -3,7 +3,6 @@
 import pytest
 
 from repro.core.agent import FlexRanAgent
-from repro.core.agent.reports import ReportsManager
 from repro.core.protocol.messages import (
     Header,
     ReportType,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.controller.rib import AgentNode, CellNode, Rib, UeNode
+from repro.core.controller.rib import Rib
 from repro.core.controller.rib_updater import RibUpdater
 from repro.core.protocol.messages import (
     CellConfigRep,

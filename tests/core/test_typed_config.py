@@ -1,0 +1,199 @@
+"""Tests for the typed Northbound configuration API.
+
+The stringly ``set_config`` side-channels (``abs_pattern`` comma
+strings, packed ``bearer_qos`` strings, ``sync`` on/off) are replaced
+by first-class protocol messages; the old keys survive as deprecated
+shims.
+"""
+
+import pytest
+
+from repro.core.agent import FlexRanAgent
+from repro.core.controller import MasterController
+from repro.core.protocol import codec
+from repro.core.protocol.messages import (
+    AbsPatternConfig,
+    BearerQosConfig,
+    DciSpec,
+    Header,
+    SetConfig,
+    SyncConfig,
+    SubframeTrigger,
+    UlMacCommand,
+)
+from repro.lte.enodeb import EnodeB
+from repro.lte.phy.channel import FixedCqi
+from repro.lte.ue import Ue
+from repro.net.transport import ControlConnection
+
+
+@pytest.fixture
+def deployment():
+    """Agent wired to a master over a zero-latency connection."""
+    enb = EnodeB(1)
+    conn = ControlConnection()
+    agent = FlexRanAgent(1, enb, endpoint=conn.agent_side)
+    master = MasterController()
+    master.connect_agent(1, conn.master_side)
+    return enb, agent, master, conn
+
+
+def sync_rib(enb, agent, master, ttis=5):
+    for t in range(ttis):
+        agent.tick_tx(t)
+        master.tick(t)
+        agent.tick_rx(t)
+        enb.tick(t)
+
+
+class TestWireRoundtrip:
+    @pytest.mark.parametrize("message", [
+        AbsPatternConfig(header=Header(xid=1, agent_id=2), cell_id=10,
+                         subframes=[0, 1, 8, 9]),
+        AbsPatternConfig(cell_id=0, subframes=[]),
+        BearerQosConfig(header=Header(xid=3), rnti=70, lcid=3, qci=1,
+                        gbr_kbps=2500),
+        BearerQosConfig(rnti=71, lcid=4, qci=9, gbr_kbps=0),
+        SyncConfig(enabled=True),
+        SyncConfig(enabled=False),
+    ])
+    def test_roundtrip(self, message):
+        assert codec.decode(codec.encode(message)) == message
+
+
+class TestTypedHandling:
+    def test_abs_pattern_goes_typed(self, deployment):
+        enb, agent, master, conn = deployment
+        master.northbound.set_abs_pattern(1, enb.cell().cell_id, [1, 3, 5])
+        got = conn.agent_side.receive(now=0)
+        assert len(got) == 1 and isinstance(got[0], AbsPatternConfig)
+        agent.dispatch(got[0], 0)
+        assert enb.cell().muted_subframes == {1, 3, 5}
+
+    def test_bearer_qos_goes_typed(self, deployment):
+        enb, agent, master, conn = deployment
+        rnti = enb.attach_ue(Ue("001", FixedCqi(10)), tti=0)
+        master.northbound.set_bearer_qos(1, enb.cell().cell_id, rnti, 3,
+                                         qci=1, gbr_mbps=1.5)
+        got = conn.agent_side.receive(now=0)
+        assert len(got) == 1 and isinstance(got[0], BearerQosConfig)
+        assert got[0].gbr_kbps == 1500
+        agent.dispatch(got[0], 0)
+        profile = enb.bearer_qos[(rnti, 3)]
+        assert profile.qci == 1
+        assert profile.gbr_mbps == pytest.approx(1.5)
+
+    def test_non_gbr_bearer(self, deployment):
+        enb, agent, master, conn = deployment
+        rnti = enb.attach_ue(Ue("001", FixedCqi(10)), tti=0)
+        master.northbound.set_bearer_qos(1, enb.cell().cell_id, rnti, 3,
+                                         qci=9)
+        msg = conn.agent_side.receive(now=0)[0]
+        assert msg.gbr_kbps == 0
+        agent.dispatch(msg, 0)
+        profile = enb.bearer_qos[(rnti, 3)]
+        assert profile.gbr_mbps is None
+
+    def test_sync_goes_typed_and_toggles(self, deployment):
+        enb, agent, master, conn = deployment
+        master.northbound.enable_sync(1, True)
+        got = conn.agent_side.receive(now=0)
+        assert len(got) == 1 and isinstance(got[0], SyncConfig)
+        agent.dispatch(got[0], 0)
+        assert agent.sync_enabled
+        master.northbound.enable_sync(1, False)
+        agent.dispatch(conn.agent_side.receive(now=0)[0], 0)
+        assert not agent.sync_enabled
+
+    def test_config_ops_counted(self, deployment):
+        enb, agent, master, conn = deployment
+        before = master.northbound.counters.config_ops
+        master.northbound.set_abs_pattern(1, 10, [1])
+        master.northbound.set_bearer_qos(1, 10, 70, 3, qci=9)
+        master.northbound.enable_sync(1)
+        assert master.northbound.counters.config_ops == before + 3
+
+
+class TestDeprecatedShims:
+    """Old stringly SetConfig entries must keep working."""
+
+    def test_abs_pattern_string_shim(self, deployment):
+        enb, agent, master, conn = deployment
+        agent.dispatch(SetConfig(cell_id=enb.cell().cell_id,
+                                 entries={"abs_pattern": "2,4"}), 0)
+        assert enb.cell().muted_subframes == {2, 4}
+
+    def test_bearer_qos_string_shim(self, deployment):
+        enb, agent, master, conn = deployment
+        rnti = enb.attach_ue(Ue("001", FixedCqi(10)), tti=0)
+        agent.dispatch(SetConfig(
+            entries={"bearer_qos": f"{rnti}:3:1:2000"}), 0)
+        profile = enb.bearer_qos[(rnti, 3)]
+        assert profile.qci == 1
+        assert profile.gbr_mbps == pytest.approx(2.0)
+
+    def test_sync_string_shim(self, deployment):
+        enb, agent, master, conn = deployment
+        agent.dispatch(SetConfig(entries={"sync": "on"}), 0)
+        assert agent.sync_enabled
+        agent.tick_tx(1)
+        assert any(isinstance(m, SubframeTrigger)
+                   for m in conn.master_side.receive(now=1))
+
+
+class TestUplinkCommandPath:
+    def test_ul_counter_and_no_dl_bleed(self, deployment):
+        enb, agent, master, conn = deployment
+        nb = master.northbound
+        nb.send_ul_command(1, 10, 50, [DciSpec(rnti=70, n_prb=10,
+                                               cqi_used=9)])
+        assert nb.counters.ul_commands == 1
+        assert nb.counters.dl_commands == 0
+        got = conn.agent_side.receive(now=0)
+        assert len(got) == 1 and isinstance(got[0], UlMacCommand)
+
+    def test_ul_passes_conflict_admission(self, deployment):
+        enb, agent, master, conn = deployment
+        nb = master.northbound
+        sync_rib(enb, agent, master)  # master learns the cell config
+        cell_id = enb.cell().cell_id
+        n_prb_ul = enb.cell().config.n_prb_ul
+        nb.send_ul_command(1, cell_id, 500,
+                           [DciSpec(rnti=70, n_prb=n_prb_ul, cqi_used=9)])
+        # A second full-size allocation for the same target from the
+        # same priority must be denied, not forwarded.
+        nb.send_ul_command(1, cell_id, 500,
+                           [DciSpec(rnti=71, n_prb=n_prb_ul, cqi_used=9)])
+        assert nb.counters.ul_commands == 1
+        assert nb.conflicts.counters.denied == 1
+
+    def test_ul_and_dl_namespaces_disjoint(self, deployment):
+        enb, agent, master, conn = deployment
+        nb = master.northbound
+        sync_rib(enb, agent, master)
+        cell_id = enb.cell().cell_id
+        n_prb = enb.cell().config.n_prb_dl
+        # Full DL and full UL allocations for the SAME target TTI must
+        # both be allowed: they spend different PRB budgets.
+        nb.send_dl_command(1, cell_id, 500,
+                           [DciSpec(rnti=70, n_prb=n_prb, cqi_used=9)])
+        nb.send_ul_command(1, cell_id, 500,
+                           [DciSpec(rnti=70, n_prb=n_prb, cqi_used=9)])
+        assert nb.conflicts.counters.denied == 0
+        assert nb.counters.dl_commands == 1
+        assert nb.counters.ul_commands == 1
+
+    def test_ul_merge_same_target(self, deployment):
+        enb, agent, master, conn = deployment
+        nb = master.northbound
+        sync_rib(enb, agent, master)
+        cell_id = enb.cell().cell_id
+        nb.send_ul_command(1, cell_id, 500,
+                           [DciSpec(rnti=70, n_prb=10, cqi_used=9)])
+        nb.send_ul_command(1, cell_id, 500,
+                           [DciSpec(rnti=71, n_prb=10, cqi_used=9)])
+        assert nb.conflicts.counters.merged == 1
+        outcome, decision = nb.conflicts.admit(
+            1, cell_id, 500, [], n_prb_limit=50, priority=0, now=0,
+            kind="ul")
+        assert {d.rnti for d in decision} == {70, 71}

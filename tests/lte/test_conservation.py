@@ -6,7 +6,6 @@ either delivered to the UE, still queued, held in HARQ processes
 awaiting feedback, or explicitly counted as dropped.
 """
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.lte.enodeb import EnodeB

@@ -6,7 +6,6 @@ from repro.lte.cell import CellConfig
 from repro.lte.enodeb import EnbEventType, EnodeB
 from repro.lte.mac.amc import ErrorModel
 from repro.lte.mac.dci import DlAssignment, SchedulingContext
-from repro.lte.mac.queues import SRB_LCID
 from repro.lte.phy.channel import FixedCqi, SquareWaveCqi
 from repro.lte.phy.tbs import capacity_mbps
 from repro.lte.ue import Ue

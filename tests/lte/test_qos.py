@@ -4,12 +4,7 @@ import pytest
 
 from repro.lte.enodeb import EnodeB
 from repro.lte.mac.dci import SchedulingContext, UeView
-from repro.lte.mac.qos import (
-    QCI_TABLE,
-    QosProfile,
-    QosScheduler,
-    parse_bearer_config,
-)
+from repro.lte.mac.qos import QosProfile, QosScheduler, parse_bearer_config
 from repro.lte.phy.channel import FixedCqi
 from repro.lte.phy.tbs import capacity_mbps
 from repro.lte.ue import Ue

@@ -11,7 +11,6 @@ import pytest
 from repro.core.apps.monitoring import MonitoringApp
 from repro.core.protocol.messages import Category
 from repro.lte.phy.channel import GaussMarkovSinr
-from repro.lte.phy.tbs import capacity_mbps
 from repro.sim.scenarios import (
     centralized_scheduling,
     dash_streaming,

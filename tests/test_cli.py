@@ -10,7 +10,7 @@ class TestCli:
         assert main(["info"]) == 0
         out = capsys.readouterr().out
         assert "FlexRAN" in out
-        assert "protocol message types: 17" in out
+        assert "protocol message types: 20" in out
 
     def test_no_command_prints_help(self, capsys):
         assert main([]) == 2

@@ -7,7 +7,6 @@ WARNING for anomalies (dead agents, denied commands).
 
 import logging
 
-import pytest
 
 from repro.core.agent import FlexRanAgent
 from repro.core.controller import MasterController
