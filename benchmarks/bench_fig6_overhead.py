@@ -19,6 +19,7 @@ import sys
 import pytest
 from conftest import print_table, run_once
 
+from repro import obs
 from repro.core.protocol.messages import ReportType
 from repro.lte.phy.tbs import capacity_mbps
 from repro.sim.scenarios import saturated_cell
@@ -43,22 +44,28 @@ def deep_size(obj, seen=None) -> int:
 
 
 def run_case(*, with_agent: bool, loaded: bool, uplink: bool = False):
-    sc = saturated_cell(n_ues=1 if loaded else 0,
-                        with_agent=with_agent, with_master=with_agent,
-                        uplink=uplink)
-    if with_agent and sc.sim.master is not None:
-        # Default deployment reporting: full stats every TTI.
-        def subscribe(t):
-            if t == 2:
-                sc.sim.master.northbound.request_stats(
-                    sc.agent.agent_id, report_type=ReportType.PERIODIC,
-                    period_ttis=1)
-        from repro.net.clock import Phase
-        sc.sim.clock.register(Phase.POST, subscribe)
-    sc.sim.run(RUN_TTIS)
-    cpu_us = sc.enb.processing_time_s * 1e6 / RUN_TTIS
-    if with_agent:
-        cpu_us += sc.agent.processing_time_s * 1e6 / RUN_TTIS
+    # CPU time now comes from the observability registry: the eNodeB
+    # and agent instrumentation feed per-call histograms
+    # (enb.plan_us / enb.transmit_us / agent.tick_us), so this
+    # benchmark reads the same telemetry an operator would.
+    with obs.enabled_scope(trace=False) as ob:
+        sc = saturated_cell(n_ues=1 if loaded else 0,
+                            with_agent=with_agent, with_master=with_agent,
+                            uplink=uplink)
+        if with_agent and sc.sim.master is not None:
+            # Default deployment reporting: full stats every TTI.
+            def subscribe(t):
+                if t == 2:
+                    sc.sim.master.northbound.request_stats(
+                        sc.agent.agent_id,
+                        report_type=ReportType.PERIODIC, period_ttis=1)
+            from repro.net.clock import Phase
+            sc.sim.clock.register(Phase.POST, subscribe)
+        sc.sim.run(RUN_TTIS)
+        cpu_us = (ob.registry.histogram("enb.plan_us").sum
+                  + ob.registry.histogram("enb.transmit_us").sum) / RUN_TTIS
+        if with_agent:
+            cpu_us += ob.registry.histogram("agent.tick_us").sum / RUN_TTIS
     mem_kb = deep_size(sc.enb) / 1024
     if with_agent:
         mem_kb += deep_size(sc.agent) / 1024

@@ -14,8 +14,11 @@ latency degrades the master--agent channel.  The paper's findings:
 
 from __future__ import annotations
 
+import math
+
 from conftest import print_table, run_once
 
+from repro import obs
 from repro.lte.phy.channel import GaussMarkovSinr
 from repro.sim.scenarios import centralized_scheduling
 
@@ -67,3 +70,51 @@ def test_fig9_latency_vs_schedule_ahead(benchmark):
     # (3) Throughput decays as the control loop gets slower.
     assert grid[(60, 64)] < grid[(0, 0)]
     assert grid[(60, 80)] < grid[(10, 16)]
+
+
+def test_fig9_control_latency_measured_in_platform(benchmark):
+    """The platform's own xid correlator reproduces the netem latency.
+
+    Fig. 9's independent variable is control latency; here the obs
+    subsystem measures it from inside the platform: the per-xid
+    enqueue->handle delay of the master's ``DlMacCommand`` stream must
+    equal the emulated one-way latency (RTT/2) for every feasible
+    configuration.
+    """
+
+    cases = [(8, 16), (20, 24), (40, 48)]
+
+    def experiment():
+        out = {}
+        for rtt, ahead in cases:
+            with obs.enabled_scope(trace=False) as ob:
+                sc = centralized_scheduling(
+                    ues_per_enb=1, rtt_ms=rtt, schedule_ahead=ahead,
+                    load_factor=1.5)
+                sc.sim.run(RUN_TTIS)
+                lat = ob.correlator.latencies("dl", "DlMacCommand")
+                out[(rtt, ahead)] = {
+                    "n": len(lat),
+                    "p50": ob.correlator.percentile(50, "dl",
+                                                    "DlMacCommand"),
+                    "p99": ob.correlator.percentile(99, "dl",
+                                                    "DlMacCommand"),
+                }
+        return out
+
+    out = run_once(benchmark, experiment)
+    rows = [[f"RTT {rtt} ms / ahead {ahead}", s["n"], s["p50"], s["p99"]]
+            for (rtt, ahead), s in out.items()]
+    print_table(
+        "Fig 9 companion -- DlMacCommand control latency measured by the "
+        "xid correlator (expected: one-way = RTT/2 TTIs, no queueing)",
+        ["config", "commands", "p50 TTIs", "p99 TTIs"], rows)
+
+    for (rtt, ahead), s in out.items():
+        one_way = math.ceil(rtt / 2)
+        assert s["n"] > 100, (rtt, ahead)
+        # The emulated channel adds exactly its one-way latency: the
+        # distribution is degenerate at RTT/2 (deterministic link, no
+        # queueing in the emulated transport).
+        assert s["p50"] == one_way, (rtt, s)
+        assert s["p99"] == one_way, (rtt, s)

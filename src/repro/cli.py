@@ -11,7 +11,16 @@ can see the platform working without writing code:
     python -m repro demo dash            # assisted vs default streaming
     python -m repro demo wifi            # the beyond-LTE agent
 
-Heavier, figure-accurate runs live in the benchmark harness
+Observability (the ``repro.obs`` subsystem):
+
+    python -m repro trace --scenario quickstart --out trace.json
+    python -m repro stats --scenario quickstart
+
+``trace`` runs a scenario with full instrumentation and writes a
+Chrome trace-event file (open in chrome://tracing or
+https://ui.perfetto.dev) that also embeds the xid-correlated
+control-latency CDF; ``stats`` prints a Prometheus-style metrics
+snapshot.  Heavier, figure-accurate runs live in the benchmark harness
 (``pytest benchmarks/ --benchmark-only``).
 """
 
@@ -19,7 +28,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Callable, Dict
+from typing import Callable, Dict, Tuple
 
 
 def _demo_quickstart() -> None:
@@ -148,6 +157,127 @@ DEMOS: Dict[str, Callable[[], None]] = {
 }
 
 
+# -- observability scenarios ------------------------------------------------
+
+
+def _scenario_quickstart():
+    """The quickstart topology: one cell, one UE, monitoring app."""
+    from repro.core.apps.monitoring import MonitoringApp
+    from repro.core.protocol.messages import ReportType
+    from repro.lte.phy.channel import FixedCqi
+    from repro.lte.ue import Ue
+    from repro.net.clock import Phase
+    from repro.sim.simulation import Simulation
+    from repro.traffic.generators import SaturatingSource
+
+    sim = Simulation(with_master=True)
+    enb = sim.add_enb()
+    agent = sim.add_agent(enb, rtt_ms=2.0)
+    ue = Ue("208930000000001", FixedCqi(15))
+    sim.add_ue(enb, ue)
+    sim.add_downlink_traffic(enb, ue, SaturatingSource(start_tti=20))
+    sim.master.add_app(MonitoringApp())
+
+    def subscribe(tti: int) -> None:
+        # Periodic stats reporting gives the correlator a steady
+        # uplink command/report stream to measure.
+        if tti == 50:
+            sim.master.northbound.request_stats(
+                agent.agent_id, report_type=ReportType.PERIODIC,
+                period_ttis=10)
+    sim.clock.register(Phase.POST, subscribe)
+    return sim
+
+
+def _scenario_centralized():
+    """Centralized remote scheduling over a 20 ms-RTT control channel."""
+    from repro.sim.scenarios import centralized_scheduling
+
+    sc = centralized_scheduling(ues_per_enb=2, rtt_ms=20.0,
+                                schedule_ahead=24, load_factor=1.2)
+    return sc.sim
+
+
+OBS_SCENARIOS: Dict[str, Tuple[Callable[[], object], int]] = {
+    # name -> (builder, default TTIs)
+    "quickstart": (_scenario_quickstart, 2000),
+    "centralized": (_scenario_centralized, 2000),
+}
+
+
+def _run_observed(scenario: str, ttis: int, *, trace: bool):
+    """Build *scenario*, run it *ttis* TTIs under a fresh obs backend."""
+    from repro import obs
+
+    builder, default_ttis = OBS_SCENARIOS[scenario]
+    ob = obs.enable(trace=trace)
+    try:
+        sim = builder()
+        sim.run(ttis if ttis > 0 else default_ttis)
+    except BaseException:
+        obs.disable()
+        raise
+    return ob, sim
+
+
+def _cmd_trace(args) -> int:
+    import json
+
+    from repro import obs
+    from repro.obs.export import (
+        chrome_trace,
+        trace_components,
+        validate_chrome_trace,
+    )
+
+    ob, _sim = _run_observed(args.scenario, args.ttis, trace=True)
+    try:
+        doc = chrome_trace(ob)
+        with open(args.out, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh)
+    finally:
+        obs.disable()
+    errors = validate_chrome_trace(doc)
+    if errors:
+        print("trace schema errors:")
+        for error in errors[:10]:
+            print(f"  {error}")
+        return 1
+    components = trace_components(doc)
+    summary = ob.correlator.summary()
+    print(f"wrote {args.out}: {len(doc['traceEvents'])} events from "
+          f"{len(components)} components ({', '.join(components)})")
+    for direction, label in (("ul", "agent->master"),
+                             ("dl", "master->agent")):
+        stats = summary[direction]
+        print(f"  control latency {label}: n={stats['count']} "
+              f"p50={stats['p50']:.0f} p95={stats['p95']:.0f} "
+              f"p99={stats['p99']:.0f} TTIs")
+    print("open in chrome://tracing or https://ui.perfetto.dev")
+    return 0
+
+
+def _cmd_stats(args) -> int:
+    from repro import obs
+    from repro.obs.export import metrics_jsonl, prometheus_text
+
+    ob, _sim = _run_observed(args.scenario, args.ttis, trace=False)
+    try:
+        if args.format == "jsonl":
+            text = metrics_jsonl(ob.registry)
+        else:
+            text = prometheus_text(ob.registry)
+    finally:
+        obs.disable()
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"wrote {args.out} ({len(ob.registry)} metrics)")
+    else:
+        print(text, end="")
+    return 0
+
+
 def _cmd_info() -> None:
     import repro
     from repro.core.protocol.messages import MESSAGE_TYPES
@@ -167,12 +297,36 @@ def main(argv=None) -> int:
     sub.add_parser("info", help="show version and capabilities")
     demo = sub.add_parser("demo", help="run a small demo scenario")
     demo.add_argument("name", choices=sorted(DEMOS))
+
+    trace = sub.add_parser(
+        "trace", help="run a scenario and write a Chrome trace")
+    trace.add_argument("--scenario", choices=sorted(OBS_SCENARIOS),
+                       default="quickstart")
+    trace.add_argument("--ttis", type=int, default=0,
+                       help="run length (default: scenario-specific)")
+    trace.add_argument("--out", default="trace.json",
+                       help="output path (Chrome trace-event JSON)")
+
+    stats = sub.add_parser(
+        "stats", help="run a scenario and print a metrics snapshot")
+    stats.add_argument("--scenario", choices=sorted(OBS_SCENARIOS),
+                       default="quickstart")
+    stats.add_argument("--ttis", type=int, default=0,
+                       help="run length (default: scenario-specific)")
+    stats.add_argument("--format", choices=("prom", "jsonl"),
+                       default="prom")
+    stats.add_argument("--out", default="",
+                       help="write to a file instead of stdout")
     args = parser.parse_args(argv)
 
     if args.command == "info":
         _cmd_info()
     elif args.command == "demo":
         DEMOS[args.name]()
+    elif args.command == "trace":
+        return _cmd_trace(args)
+    elif args.command == "stats":
+        return _cmd_stats(args)
     else:
         parser.print_help()
         return 2

@@ -15,6 +15,7 @@ import logging
 import time
 from typing import Callable, Dict, List, Optional
 
+from repro import obs as _obs
 from repro.core.agent.api import AgentDataPlaneApi
 from repro.core.agent.cmi import ControlModule
 from repro.core.agent.connection import (
@@ -176,6 +177,18 @@ class FlexRanAgent:
 
     def tick_tx(self, now: int) -> None:
         """AGENT_TX phase: hello, sync, due reports, queued events."""
+        ob = _obs.get()
+        if ob.enabled:
+            before = self.processing_time_s
+            with ob.tracer.span("agent", "tick_tx", tti=now,
+                                agent=self.agent_id):
+                self._tick_tx(now)
+            ob.registry.histogram("agent.tick_us").observe(
+                (self.processing_time_s - before) * 1e6)
+        else:
+            self._tick_tx(now)
+
+    def _tick_tx(self, now: int) -> None:
         start = time.perf_counter()
         if self.connection is not None and not self.connection.before_tx(now):
             # Disconnected: the supervisor owns the channel (probes on
@@ -209,6 +222,18 @@ class FlexRanAgent:
         """AGENT_RX phase: dispatch every received protocol message."""
         if self.endpoint is None:
             return
+        ob = _obs.get()
+        if ob.enabled:
+            before = self.processing_time_s
+            with ob.tracer.span("agent", "tick_rx", tti=now,
+                                agent=self.agent_id):
+                self._tick_rx(now)
+            ob.registry.histogram("agent.tick_us").observe(
+                (self.processing_time_s - before) * 1e6)
+        else:
+            self._tick_rx(now)
+
+    def _tick_rx(self, now: int) -> None:
         start = time.perf_counter()
         for message in self.endpoint.receive(now=now):
             if self.connection is not None:
@@ -262,7 +287,18 @@ class FlexRanAgent:
             raise TypeError(
                 f"agent {self.agent_id} cannot handle "
                 f"{type(message).__name__}")
-        handler(message, now)
+        ob = _obs.get()
+        if ob.enabled:
+            msg_type = type(message).__name__
+            with ob.tracer.span("agent_dispatch", msg_type, tti=now,
+                                agent=self.agent_id):
+                handler(message, now)
+            if self.endpoint is not None:
+                ob.correlator.on_handle(
+                    self.endpoint.peer, self.endpoint.rx_direction,
+                    msg_type, message.header.xid, now)
+        else:
+            handler(message, now)
         self.messages_handled += 1
 
     # -- handlers ---------------------------------------------------------

@@ -26,6 +26,8 @@ import logging
 from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
+from repro import obs as _obs
+
 logger = logging.getLogger(__name__)
 
 Action = Callable[[int], None]
@@ -135,6 +137,10 @@ class ConnectionSupervisor:
                         "TTI %d", now)
             if self._on_reconnect is not None:
                 self._on_reconnect(now)
+            ob = _obs.get()
+            if ob.enabled:
+                ob.registry.counter("agent.connection.reconnects").inc()
+                ob.tracer.instant("agent", "reconnected", tti=now)
 
     def before_tx(self, now: int) -> bool:
         """Run the per-TTI liveness logic; returns whether normal
@@ -151,12 +157,16 @@ class ConnectionSupervisor:
                     >= self.config.keepalive_period_ttis):
                 self._last_keepalive = now
                 self.stats.keepalives_sent += 1
+                _obs.get().registry.counter(
+                    "agent.connection.keepalives").inc()
                 if self._send_keepalive is not None:
                     self._send_keepalive(now)
             return True
         # DISCONNECTED: probe on the backoff schedule, suppress the rest.
         if now >= self._next_probe:
             self.stats.reconnect_attempts += 1
+            _obs.get().registry.counter(
+                "agent.connection.reconnect_attempts").inc()
             self._backoff = min(self._backoff * 2,
                                 self.config.reconnect_backoff_cap_ttis)
             self._next_probe = now + self._backoff
@@ -173,6 +183,11 @@ class ConnectionSupervisor:
         self._next_probe = now + self._backoff
         logger.warning("agent connection: master silent for %d TTIs, "
                        "falling back to local control", silent)
+        ob = _obs.get()
+        if ob.enabled:
+            ob.registry.counter("agent.connection.disconnects").inc()
+            ob.tracer.instant("agent", "disconnected", tti=now,
+                              silent_ttis=silent)
         if self._on_disconnect is not None:
             self._on_disconnect(now)
 

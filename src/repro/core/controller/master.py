@@ -19,6 +19,7 @@ import logging
 import time
 from typing import Dict, List, Optional
 
+from repro import obs as _obs
 from repro.core.apps.base import App
 from repro.core.controller.events import EventNotificationService
 from repro.core.controller.northbound import NorthboundApi
@@ -140,24 +141,44 @@ class MasterController:
 
     def tick(self, now: int) -> None:
         """MASTER phase: run one Task Manager cycle."""
+        ob = _obs.get()
         start = time.perf_counter()
         self.now = now
-        self.task_manager.cycle(now, self._drain_agents, self.northbound)
+        if ob.enabled:
+            with ob.tracer.span("master", "tick", tti=now):
+                self.task_manager.cycle(now, self._drain_agents,
+                                        self.northbound)
+        else:
+            self.task_manager.cycle(now, self._drain_agents,
+                                    self.northbound)
         self.processing_time_s += time.perf_counter() - start
 
     def _drain_agents(self) -> None:
         """The RIB-updater slot: apply every received agent message."""
+        ob = _obs.get()
+        drained = 0
         gathered: List[EventNotification] = []
         for agent_id in sorted(self._endpoints):
             endpoint = self._endpoints[agent_id]
             messages = endpoint.receive(now=self.now)
             if messages:
                 self._note_alive(agent_id)
+                drained += len(messages)
             for message in messages:
                 gathered.extend(self.updater.apply(agent_id, message, self.now))
                 self._react(agent_id, message)
+                if ob.enabled:
+                    # Final lifecycle stage of an uplink message: the
+                    # RIB updater and protocol reactions are done.
+                    ob.correlator.on_handle(
+                        endpoint.peer, endpoint.rx_direction,
+                        type(message).__name__, message.header.xid,
+                        self.now)
         if gathered:
             self.events.enqueue(gathered)
+        if ob.enabled:
+            ob.registry.gauge("master.rib_updater.drained_messages").set(
+                drained)
         self._check_liveness()
 
     # -- liveness -----------------------------------------------------------

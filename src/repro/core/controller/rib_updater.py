@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List
 
+from repro import obs as _obs
 from repro.core.controller.rib import AgentNode, CellNode, Rib, UeNode
 from repro.core.protocol.messages import (
     ConfigReply,
@@ -52,6 +53,11 @@ class RibUpdater:
         """Apply one message; returns any events for the notification
         service to fan out to applications."""
         self.counters.messages += 1
+        ob = _obs.get()
+        if ob.enabled:
+            ob.registry.counter("master.rib.messages").inc()
+            ob.registry.counter(
+                "master.rib.by_type." + type(message).__name__.lower()).inc()
         agent = self._rib.get_or_create_agent(agent_id)
         if isinstance(message, Hello):
             self._apply_hello(agent, message, now)

@@ -20,17 +20,23 @@ Per-cycle wall-clock times of both slots are recorded -- they are the
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Callable, Optional
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 
+from repro import obs as _obs
 from repro.core.controller.events import EventNotificationService
 from repro.core.controller.registry import RegistryService
+from repro.obs.registry import percentile
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.controller.northbound import NorthboundApi
 
 DEFAULT_TTI_BUDGET_MS = 1.0
 DEFAULT_UPDATER_SHARE = 0.2
+
+CYCLE_SAMPLE_WINDOW = 100_000
+"""Per-slot timing samples retained for percentile queries."""
 
 
 @dataclass
@@ -46,9 +52,19 @@ class CycleRecord:
     overran: bool
 
 
+def _cycle_window() -> Deque[float]:
+    return deque(maxlen=CYCLE_SAMPLE_WINDOW)
+
+
 @dataclass
 class CycleStats:
-    """Aggregated cycle timings over a run."""
+    """Aggregated cycle timings over a run.
+
+    Besides the running means (the Fig. 8 series), per-slot samples
+    are retained in a bounded window so tail cycle times
+    (p50/p95/p99) can be reported -- a long master run keeps the most
+    recent :data:`CYCLE_SAMPLE_WINDOW` cycles.
+    """
 
     cycles: int = 0
     core_ms_total: float = 0.0
@@ -56,6 +72,12 @@ class CycleStats:
     idle_ms_total: float = 0.0
     overruns: int = 0
     deferred_total: int = 0
+    core_ms_samples: Deque[float] = field(default_factory=_cycle_window,
+                                          repr=False)
+    app_ms_samples: Deque[float] = field(default_factory=_cycle_window,
+                                         repr=False)
+    idle_ms_samples: Deque[float] = field(default_factory=_cycle_window,
+                                          repr=False)
 
     def add(self, record: CycleRecord) -> None:
         self.cycles += 1
@@ -64,6 +86,9 @@ class CycleStats:
         self.idle_ms_total += record.idle_ms
         self.overruns += int(record.overran)
         self.deferred_total += record.apps_deferred
+        self.core_ms_samples.append(record.core_ms)
+        self.app_ms_samples.append(record.app_ms)
+        self.idle_ms_samples.append(record.idle_ms)
 
     @property
     def mean_core_ms(self) -> float:
@@ -76,6 +101,29 @@ class CycleStats:
     @property
     def mean_idle_ms(self) -> float:
         return self.idle_ms_total / self.cycles if self.cycles else 0.0
+
+    @staticmethod
+    def _pct(samples: Deque[float], q: float) -> float:
+        return percentile(list(samples), q) if samples else 0.0
+
+    def percentile_core_ms(self, q: float) -> float:
+        """Tail core-slot time over the retained window (0 if empty)."""
+        return self._pct(self.core_ms_samples, q)
+
+    def percentile_app_ms(self, q: float) -> float:
+        return self._pct(self.app_ms_samples, q)
+
+    def percentile_idle_ms(self, q: float) -> float:
+        return self._pct(self.idle_ms_samples, q)
+
+    def tail_summary(self) -> Dict[str, Dict[str, float]]:
+        """p50/p95/p99 of each slot, keyed by series name."""
+        out: Dict[str, Dict[str, float]] = {}
+        for name, fn in (("core_ms", self.percentile_core_ms),
+                         ("app_ms", self.percentile_app_ms),
+                         ("idle_ms", self.percentile_idle_ms)):
+            out[name] = {"p50": fn(50), "p95": fn(95), "p99": fn(99)}
+        return out
 
 
 class TaskManager:
@@ -107,11 +155,45 @@ class TaskManager:
     def cycle(self, tti: int, drain_fn: Callable[[], None],
               nb: "NorthboundApi") -> CycleRecord:
         """Execute one TTI cycle: updater slot, then application slot."""
+        ob = _obs.get()
         start = time.perf_counter()
-        drain_fn()  # RIB Updater: the only RIB writer, alone in its slot
+        if ob.enabled:
+            # RIB Updater: the only RIB writer, alone in its slot.
+            with ob.tracer.span("task_manager", "rib_updater", tti=tti):
+                drain_fn()
+        else:
+            drain_fn()
         core_end = time.perf_counter()
         core_ms = (core_end - start) * 1000.0
 
+        if ob.enabled:
+            with ob.tracer.span("task_manager", "apps", tti=tti):
+                apps_run, apps_deferred = self._app_slot(tti, nb, core_end)
+        else:
+            apps_run, apps_deferred = self._app_slot(tti, nb, core_end)
+        app_ms = (time.perf_counter() - core_end) * 1000.0
+
+        if ob.enabled:
+            registry = ob.registry
+            registry.histogram("master.cycle.core_ms").observe(core_ms)
+            registry.histogram("master.cycle.app_ms").observe(app_ms)
+            if apps_deferred:
+                registry.counter("master.cycle.apps_deferred").inc(
+                    apps_deferred)
+
+        used_ms = core_ms + app_ms
+        record = CycleRecord(
+            tti=tti, core_ms=core_ms, app_ms=app_ms,
+            idle_ms=max(0.0, self.tti_budget_ms - used_ms),
+            apps_run=apps_run, apps_deferred=apps_deferred,
+            overran=used_ms > self.tti_budget_ms)
+        self.stats.add(record)
+        self.last_record = record
+        return record
+
+    def _app_slot(self, tti: int, nb: "NorthboundApi",
+                  core_end: float) -> tuple:
+        """The application slot: event fan-out, then due applications."""
         apps_run = 0
         apps_deferred = 0
         self._events.dispatch(tti, nb)
@@ -132,14 +214,4 @@ class TaskManager:
                     nb.set_current_app(None)
             reg.runs += 1
             apps_run += 1
-        app_ms = (time.perf_counter() - core_end) * 1000.0
-
-        used_ms = core_ms + app_ms
-        record = CycleRecord(
-            tti=tti, core_ms=core_ms, app_ms=app_ms,
-            idle_ms=max(0.0, self.tti_budget_ms - used_ms),
-            apps_run=apps_run, apps_deferred=apps_deferred,
-            overran=used_ms > self.tti_budget_ms)
-        self.stats.add(record)
-        self.last_record = record
-        return record
+        return apps_run, apps_deferred

@@ -30,6 +30,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import obs as _obs
 from repro.lte.cell import Cell, CellConfig
 from repro.lte.mac.amc import DEFAULT_ERROR_MODEL, ErrorModel
 from repro.lte.mac.dci import (
@@ -363,6 +364,17 @@ class EnodeB:
 
     def plan(self, tti: int) -> None:
         """Pass 1: feedback, RRC, CQI refresh, run schedulers."""
+        ob = _obs.get()
+        if ob.enabled:
+            before = self.processing_time_s
+            with ob.tracer.span("enb", "plan", tti=tti, enb=self.enb_id):
+                self._plan(tti)
+            ob.registry.histogram("enb.plan_us").observe(
+                (self.processing_time_s - before) * 1e6)
+        else:
+            self._plan(tti)
+
+    def _plan(self, tti: int) -> None:
         start = time.perf_counter()
         self._process_feedback(tti)
         self._advance_rrc(tti)
@@ -384,6 +396,18 @@ class EnodeB:
 
     def transmit(self, tti: int) -> None:
         """Pass 2: apply the plan against the actual channel."""
+        ob = _obs.get()
+        if ob.enabled:
+            before = self.processing_time_s
+            with ob.tracer.span("enb", "transmit", tti=tti,
+                                enb=self.enb_id):
+                self._transmit_pass(tti)
+            ob.registry.histogram("enb.transmit_us").observe(
+                (self.processing_time_s - before) * 1e6)
+        else:
+            self._transmit_pass(tti)
+
+    def _transmit_pass(self, tti: int) -> None:
         start = time.perf_counter()
         for cell_id in self.cells:
             for assignment in self._plan_dl.get(cell_id, []):

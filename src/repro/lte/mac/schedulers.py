@@ -19,6 +19,7 @@ from __future__ import annotations
 import abc
 from typing import Any, Dict, List, Optional, Sequence
 
+from repro import obs as _obs
 from repro.lte.mac import amc
 from repro.lte.mac.dci import DlAssignment, SchedulingContext, UeView
 from repro.lte.phy.tbs import prbs_needed, transport_block_bits
@@ -50,7 +51,16 @@ class Scheduler(abc.ABC):
         """Produce this TTI's downlink allocation."""
 
     def __call__(self, ctx: SchedulingContext) -> List[DlAssignment]:
-        return self.schedule(ctx)
+        ob = _obs.get()
+        if not ob.enabled:
+            return self.schedule(ctx)
+        with ob.tracer.span("scheduler", self.name, tti=ctx.tti,
+                            cell=ctx.cell_id):
+            out = self.schedule(ctx)
+        ob.registry.counter("mac.sched.runs").inc()
+        if out:
+            ob.registry.counter("mac.sched.assignments").inc(len(out))
+        return out
 
     def set_parameter(self, name: str, value: Any) -> None:
         """Reconfigure one public parameter (policy reconfiguration)."""

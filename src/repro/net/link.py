@@ -83,6 +83,14 @@ class EmulatedLink:
         self._last_scheduled_deliver = 0
         self.dropped_messages = 0
         self.dropped_bytes = 0
+        # Conservation accounting: every byte offered to the link is
+        # eventually delivered, dropped, or still in flight --
+        # offered_bytes == delivered_bytes + dropped_bytes
+        #                  + in_flight_bytes().
+        self.offered_messages = 0
+        self.offered_bytes = 0
+        self.delivered_messages = 0
+        self.delivered_bytes = 0
 
     @staticmethod
     def _to_ttis(latency_ms: float) -> int:
@@ -169,6 +177,8 @@ class EmulatedLink:
         if size_bytes < 0:
             raise ValueError(f"size must be >= 0, got {size_bytes}")
         self._advance_events(now)
+        self.offered_messages += 1
+        self.offered_bytes += size_bytes
         if not self.up or (self._loss_probability > 0.0
                            and self._rng.random() < self._loss_probability):
             self.dropped_messages += 1
@@ -198,12 +208,19 @@ class EmulatedLink:
         self._advance_events(now)
         out: List[Any] = []
         while self._queue and self._queue[0].deliver_tti <= now:
-            out.append(heapq.heappop(self._queue).payload)
+            transit = heapq.heappop(self._queue)
+            self.delivered_messages += 1
+            self.delivered_bytes += transit.size_bytes
+            out.append(transit.payload)
         return out
 
     def in_flight(self) -> int:
         """Messages currently traversing the link."""
         return len(self._queue)
+
+    def in_flight_bytes(self) -> int:
+        """Bytes currently traversing the link."""
+        return sum(t.size_bytes for t in self._queue)
 
     # -- accounting -------------------------------------------------------
 

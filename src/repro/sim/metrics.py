@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.clock import Phase, SimClock
+from repro.obs.registry import percentile as _percentile
 
 
 @dataclass
@@ -41,6 +42,20 @@ class Series:
     def mean_between(self, start_tti: int, end_tti: int) -> float:
         vals = self.between(start_tti, end_tti)
         return statistics.fmean(vals) if vals else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Tail percentile of the recorded values (0.0 if empty)."""
+        vals = self.values()
+        return _percentile(vals, q) if vals else 0.0
+
+    def p50(self) -> float:
+        return self.percentile(50)
+
+    def p95(self) -> float:
+        return self.percentile(95)
+
+    def p99(self) -> float:
+        return self.percentile(99)
 
 
 class Probe:
@@ -88,16 +103,9 @@ def cdf_points(values: Sequence[float]) -> List[Tuple[float, float]]:
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Simple percentile (q in [0, 100]) with linear interpolation."""
-    if not values:
-        raise ValueError("percentile of empty sequence")
-    if not 0 <= q <= 100:
-        raise ValueError(f"q must be in [0, 100], got {q}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    pos = q / 100 * (len(ordered) - 1)
-    lo = int(pos)
-    hi = min(lo + 1, len(ordered) - 1)
-    frac = pos - lo
-    return ordered[lo] * (1 - frac) + ordered[hi] * frac
+    """Simple percentile (q in [0, 100]) with linear interpolation.
+
+    Shared with the observability subsystem so benchmark summaries and
+    platform telemetry agree on tail semantics.
+    """
+    return _percentile(values, q)

@@ -1,0 +1,11 @@
+"""Shared fixtures: every obs test leaves the global backend disabled."""
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    yield
+    obs.disable()

@@ -1,0 +1,88 @@
+"""Exporters: JSONL, Prometheus exposition format, Chrome trace document."""
+
+import json
+
+from repro import obs
+from repro.obs.export import (
+    chrome_trace,
+    metrics_jsonl,
+    prometheus_text,
+    validate_chrome_trace,
+)
+from repro.obs.registry import MetricsRegistry
+
+
+def _populated_registry() -> MetricsRegistry:
+    r = MetricsRegistry()
+    r.counter("net.tx.messages").inc(3)
+    r.gauge("master.rib_updater.drained_messages").set(2.0)
+    h = r.histogram("agent.tick_us", buckets=(10.0, 100.0))
+    h.observe(5.0)
+    h.observe(50.0)
+    h.observe(500.0)
+    return r
+
+
+class TestJsonl:
+    def test_one_parseable_object_per_metric(self):
+        text = metrics_jsonl(_populated_registry())
+        lines = text.strip().split("\n")
+        assert len(lines) == 3
+        docs = [json.loads(line) for line in lines]
+        names = [d["name"] for d in docs]
+        assert names == sorted(names)
+        by_name = {d["name"]: d for d in docs}
+        assert by_name["net.tx.messages"]["value"] == 3
+        assert by_name["agent.tick_us"]["count"] == 3
+
+    def test_empty_registry_empty_output(self):
+        assert metrics_jsonl(MetricsRegistry()) == ""
+
+
+class TestPrometheus:
+    def test_exposition_format(self):
+        text = prometheus_text(_populated_registry())
+        assert "# TYPE net_tx_messages counter" in text
+        assert "net_tx_messages 3" in text
+        assert "# TYPE master_rib_updater_drained_messages gauge" in text
+        assert "# TYPE agent_tick_us histogram" in text
+        # Cumulative le buckets, +Inf last, sum and count series.
+        assert 'agent_tick_us_bucket{le="10.0"} 1' in text
+        assert 'agent_tick_us_bucket{le="100.0"} 2' in text
+        assert 'agent_tick_us_bucket{le="+Inf"} 3' in text
+        assert "agent_tick_us_sum 555.0" in text
+        assert "agent_tick_us_count 3" in text
+        assert text.endswith("\n")
+
+    def test_no_dots_in_exported_names(self):
+        text = prometheus_text(_populated_registry())
+        for line in text.splitlines():
+            name = line.split()[1] if line.startswith("#") else line.split()[0]
+            assert "." not in name.split("{")[0]
+
+
+class TestChromeTraceDocument:
+    def test_embeds_cdf_and_summary(self):
+        with obs.enabled_scope() as ob:
+            with ob.tracer.span("master", "tick", tti=1):
+                pass
+            key = ("enb1", "dl", "DlMacCommand", 1)
+            ob.correlator.on_enqueue(*key, 10)
+            ob.correlator.on_wire(*key, 10)
+            ob.correlator.on_deliver(*key, 11)
+            ob.correlator.on_handle(*key, 11)
+            doc = chrome_trace(ob, extra={"scenario": "unit"})
+        assert validate_chrome_trace(doc) == []
+        other = doc["otherData"]
+        assert other["control_latency_cdf"]["dl"] == [(1.0, 1.0)]
+        assert other["control_latency_cdf"]["ul"] == []
+        assert other["control_latency_summary"]["completed"] == 1
+        assert other["scenario"] == "unit"
+
+    def test_document_round_trips_through_json(self):
+        with obs.enabled_scope() as ob:
+            with ob.tracer.span("transport", "send:StatsRequest", tti=3):
+                pass
+            doc = chrome_trace(ob)
+        reloaded = json.loads(json.dumps(doc))
+        assert validate_chrome_trace(reloaded) == []
