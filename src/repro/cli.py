@@ -16,6 +16,10 @@ Observability (the ``repro.obs`` subsystem):
     python -m repro trace --scenario quickstart --out trace.json
     python -m repro stats --scenario quickstart
 
+Survivability (the ``repro.core.survive`` subsystem):
+
+    python -m repro chaos                # scripted faults + invariants
+
 ``trace`` runs a scenario with full instrumentation and writes a
 Chrome trace-event file (open in chrome://tracing or
 https://ui.perfetto.dev) that also embeds the xid-correlated
@@ -278,6 +282,39 @@ def _cmd_stats(args) -> int:
     return 0
 
 
+def _cmd_chaos(args) -> int:
+    """Run the survivability chaos scenario; exit 1 on any violation."""
+    from repro.sim.scenarios import chaos_survivability
+
+    sc = chaos_survivability(
+        crash_window=(args.crash_start, args.crash_end),
+        poison_at=args.poison_at or None,
+        restart_at=args.restart_at or None)
+    sc.sim.run(args.ttis)
+    report = sc.harness.report()
+    print(f"chaos run: {report.ttis} TTIs, {report.checks} invariant "
+          f"checks, {len(report.fired)} fault actions fired")
+    for tti, desc in report.fired:
+        print(f"  tti {tti:>5}: {desc}")
+    sup = sc.sim.master.supervisor
+    if sup is not None:
+        h = sup.health(sc.probe.name)
+        print(f"probe app (since last restart): {h.crashes} crashes "
+              f"contained, {h.quarantines} quarantine(s), "
+              f"{h.readmissions} re-admission(s), final state "
+              f"{h.state.value}")
+    agent = sc.agents[0]
+    print(f"agent {agent.agent_id} active dl scheduler: "
+          f"{agent.mac.active_name('dl_scheduling')}")
+    if report.violations:
+        print(f"INVARIANT VIOLATIONS ({len(report.violations)}):")
+        for v in report.violations[:20]:
+            print(f"  tti {v.tti:>5} [{v.invariant}] {v.detail}")
+        return 1
+    print("all invariants held")
+    return 0
+
+
 def _cmd_info() -> None:
     import repro
     from repro.core.protocol.messages import MESSAGE_TYPES
@@ -317,6 +354,16 @@ def main(argv=None) -> int:
                        default="prom")
     stats.add_argument("--out", default="",
                        help="write to a file instead of stdout")
+
+    chaos = sub.add_parser(
+        "chaos", help="run the survivability chaos scenario")
+    chaos.add_argument("--ttis", type=int, default=4000)
+    chaos.add_argument("--crash-start", type=int, default=500)
+    chaos.add_argument("--crash-end", type=int, default=900)
+    chaos.add_argument("--poison-at", type=int, default=1500,
+                       help="TTI of the poisoned VSF push (0 disables)")
+    chaos.add_argument("--restart-at", type=int, default=2500,
+                       help="TTI of the controller restart (0 disables)")
     args = parser.parse_args(argv)
 
     if args.command == "info":
@@ -327,6 +374,8 @@ def main(argv=None) -> int:
         return _cmd_trace(args)
     elif args.command == "stats":
         return _cmd_stats(args)
+    elif args.command == "chaos":
+        return _cmd_chaos(args)
     else:
         parser.print_help()
         return 2

@@ -109,6 +109,11 @@ class FlexRanAgent:
         self.config_store: Dict[str, str] = {}
         self.processing_time_s = 0.0
         self.messages_handled = 0
+        #: Messages dropped because no handler is registered for them.
+        self.dispatch_unknown = 0
+        #: Messages whose handler raised (caught at the dispatch
+        #: boundary so one malformed command cannot kill the agent).
+        self.dispatch_errors = 0
 
         # Connection supervisor: liveness, local fallback, reconnect.
         # Only meaningful with an endpoint; it stays dormant until the
@@ -281,24 +286,42 @@ class FlexRanAgent:
 
     def dispatch(self, message: FlexRanMessage, now: int) -> None:
         """Route one protocol message to its handler (message handler
-        and dispatcher entity of Fig. 2)."""
+        and dispatcher entity of Fig. 2).
+
+        The dispatch boundary is hardened: an unknown message type or
+        a handler that raises (e.g. a command naming a module this
+        agent does not run) is counted and dropped instead of killing
+        the agent's RX tick -- the control channel stays up.
+        """
+        ob = _obs.get()
         handler = self._handlers.get(type(message))
         if handler is None:
-            raise TypeError(
-                f"agent {self.agent_id} cannot handle "
-                f"{type(message).__name__}")
-        ob = _obs.get()
-        if ob.enabled:
-            msg_type = type(message).__name__
-            with ob.tracer.span("agent_dispatch", msg_type, tti=now,
-                                agent=self.agent_id):
+            self.dispatch_unknown += 1
+            if ob.enabled:
+                ob.registry.counter("agent.dispatch.unknown").inc()
+            logger.warning("agent %d: dropping unhandled message type %s",
+                           self.agent_id, type(message).__name__)
+            return
+        try:
+            if ob.enabled:
+                msg_type = type(message).__name__
+                with ob.tracer.span("agent_dispatch", msg_type, tti=now,
+                                    agent=self.agent_id):
+                    handler(message, now)
+                if self.endpoint is not None:
+                    ob.correlator.on_handle(
+                        self.endpoint.peer, self.endpoint.rx_direction,
+                        msg_type, message.header.xid, now)
+            else:
                 handler(message, now)
-            if self.endpoint is not None:
-                ob.correlator.on_handle(
-                    self.endpoint.peer, self.endpoint.rx_direction,
-                    msg_type, message.header.xid, now)
-        else:
-            handler(message, now)
+        except Exception as exc:  # noqa: BLE001 - the dispatch boundary
+            self.dispatch_errors += 1
+            if ob.enabled:
+                ob.registry.counter("agent.dispatch.errors").inc()
+            logger.error("agent %d: handler for %s failed, message "
+                         "dropped: %r", self.agent_id,
+                         type(message).__name__, exc)
+            return
         self.messages_handled += 1
 
     # -- handlers ---------------------------------------------------------

@@ -18,6 +18,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional
 
+from repro import obs as _obs
 from repro.core.policy import VsfPolicy
 
 logger = logging.getLogger(__name__)
@@ -43,6 +44,9 @@ class VsfSlot:
     faults: int = 0
     consecutive_overruns: int = 0
     quarantined: Dict[str, int] = field(default_factory=dict)
+    #: Most recent VSF that completed a sandboxed invocation cleanly;
+    #: quarantine rolls back to it in preference to the static fallback.
+    last_good_name: Optional[str] = None
 
 
 @dataclass
@@ -195,6 +199,7 @@ class ControlModule(abc.ABC):
                           f"x{slot.consecutive_overruns}")
         else:
             slot.consecutive_overruns = 0
+            slot.last_good_name = slot.active_name
         return result
 
     def _quarantine(self, slot: VsfSlot, reason: str) -> None:
@@ -204,7 +209,23 @@ class ControlModule(abc.ABC):
         slot.consecutive_overruns = 0
         logger.error("module %s: quarantining VSF %s for %s (%s)",
                      self.name, bad, slot.operation, reason)
-        fallback = slot.fallback_name
+        ob = _obs.get()
+        if ob.enabled:
+            ob.registry.counter("survive.vsf.faults").inc()
+            # Name-level counter so the operator "could quickly
+            # identify VSFs that present an unexpected behavior".
+            ob.registry.counter(
+                f"survive.vsf.quarantined.{self.name}"
+                f".{slot.operation}.{bad}").inc()
+        # Rollback preference: the last VSF known to have completed a
+        # clean sandboxed invocation, then the designated fallback,
+        # then any other cached implementation.
+        fallback = slot.last_good_name
+        if fallback == bad or (fallback is not None
+                               and fallback not in slot.cache):
+            fallback = None
+        if fallback is None:
+            fallback = slot.fallback_name
         if fallback is None or fallback == bad:
             candidates = [n for n in sorted(slot.cache) if n != bad]
             if not candidates:
@@ -213,7 +234,11 @@ class ControlModule(abc.ABC):
                     f"({reason}) and no fallback is available")
             fallback = candidates[0]
         slot.cache.pop(bad, None)  # evict the offender from the cache
+        if slot.last_good_name == bad:
+            slot.last_good_name = None
         self.activate(slot.operation, fallback)
+        if ob.enabled:
+            ob.registry.counter("survive.vsf.rollbacks").inc()
         for fn in list(self._fault_observers):
             fn(slot.operation, bad, reason)
 

@@ -12,7 +12,7 @@ both patterns.
 from __future__ import annotations
 
 import abc
-from typing import TYPE_CHECKING, Set
+from typing import TYPE_CHECKING, Optional, Set
 
 from repro.core.protocol.messages import EventNotification, EventType
 
@@ -33,6 +33,9 @@ class App(abc.ABC):
     period_ttis: int = 1
     #: Event types this app subscribes to (event-based pattern).
     subscribed_events: Set[EventType] = frozenset()
+    #: Per-invocation deadline enforced by the app supervisor; None
+    #: defers to the Task Manager's app-slot budget.
+    deadline_ms: Optional[float] = None
 
     def on_start(self, nb: "NorthboundApi") -> None:
         """Called once when the app is registered with the master."""
@@ -53,5 +56,6 @@ class App(abc.ABC):
             "name": self.name,
             "priority": self.priority,
             "period_ttis": self.period_ttis,
+            "deadline_ms": self.deadline_ms,
             "events": sorted(int(e) for e in self.subscribed_events),
         }

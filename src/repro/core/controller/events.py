@@ -9,9 +9,10 @@ happens inside the application slot of the TTI cycle.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List
+from typing import TYPE_CHECKING, List, Optional
 
 from repro.core.controller.registry import RegistryService
+from repro.core.survive.supervisor import AppSupervisor
 from repro.core.protocol.messages import EventNotification, EventType
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -19,13 +20,23 @@ if TYPE_CHECKING:  # pragma: no cover
 
 
 class EventNotificationService:
-    """Dispatches queued agent events to subscribed applications."""
+    """Dispatches queued agent events to subscribed applications.
 
-    def __init__(self, registry: RegistryService) -> None:
+    With an :class:`AppSupervisor` attached (shared with the Task
+    Manager), each ``on_event`` delivery runs inside the same fault
+    boundary as the periodic slot: a handler that raises is counted
+    against the app's breaker (event pattern) instead of unwinding the
+    dispatch loop, and quarantined apps receive no events at all.
+    """
+
+    def __init__(self, registry: RegistryService, *,
+                 supervisor: Optional[AppSupervisor] = None) -> None:
         self._registry = registry
+        self.supervisor = supervisor
         self._queue: List[EventNotification] = []
         self.delivered = 0
         self.dropped_no_subscriber = 0
+        self.dropped_quarantined = 0
 
     def enqueue(self, events: List[EventNotification]) -> None:
         """Queue events gathered during the RIB-update slot."""
@@ -37,6 +48,7 @@ class EventNotificationService:
     def dispatch(self, tti: int, nb: "NorthboundApi") -> int:
         """Deliver every queued event to its subscribers; returns count."""
         events, self._queue = self._queue, []
+        sup = self.supervisor
         count = 0
         for event in events:
             try:
@@ -45,14 +57,28 @@ class EventNotificationService:
                 kind = None
             delivered_any = False
             for reg in self._registry.runnable():
-                if kind is not None and kind in reg.app.subscribed_events:
-                    if nb is not None:
-                        nb.set_current_app(reg.app)
-                    try:
+                if kind is None or kind not in reg.app.subscribed_events:
+                    continue
+                if sup is not None and not sup.admitted(reg.app.name, tti):
+                    self.dropped_quarantined += 1
+                    continue
+                if nb is not None:
+                    nb.set_current_app(reg.app)
+                try:
+                    if sup is None:
                         reg.app.on_event(event, tti, nb)
-                    finally:
-                        if nb is not None:
-                            nb.set_current_app(None)
+                        completed = True
+                    else:
+                        app = reg.app
+                        completed = sup.call(
+                            app.name,
+                            lambda: app.on_event(event, tti, nb),
+                            tti=tti, kind="event",
+                            deadline_ms=getattr(app, "deadline_ms", None))
+                finally:
+                    if nb is not None:
+                        nb.set_current_app(None)
+                if completed:
                     reg.events_delivered += 1
                     delivered_any = True
                     count += 1

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import logging
 import time
-from typing import Dict, List, Optional
+from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro import obs as _obs
 from repro.core.apps.base import App
@@ -40,6 +40,10 @@ from repro.core.protocol.messages import (
     Header,
     Hello,
 )
+from repro.core.survive.supervisor import AppSupervisor, SupervisionPolicy
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.survive.snapshot import CheckpointStore
 from repro.net.transport import ProtocolEndpoint
 
 logger = logging.getLogger(__name__)
@@ -65,15 +69,45 @@ class MasterController:
                  echo_period_ttis: int = ECHO_PERIOD_TTIS,
                  liveness_timeout_ttis: int = LIVENESS_TIMEOUT_TTIS,
                  stale_after_ttis: Optional[int] = None,
-                 dead_gc_ttis: int = DEAD_GC_TTIS) -> None:
+                 dead_gc_ttis: int = DEAD_GC_TTIS,
+                 supervision: bool = True,
+                 supervision_policy: Optional[SupervisionPolicy] = None,
+                 checkpoint_period_ttis: Optional[int] = None,
+                 checkpoint_keep: int = 4) -> None:
+        # Constructor kwargs, kept verbatim so respawn() can build an
+        # identically-configured replacement after a controller crash.
+        self._config = dict(
+            realtime=realtime, tti_budget_ms=tti_budget_ms,
+            updater_share=updater_share,
+            echo_period_ttis=echo_period_ttis,
+            liveness_timeout_ttis=liveness_timeout_ttis,
+            stale_after_ttis=stale_after_ttis,
+            dead_gc_ttis=dead_gc_ttis, supervision=supervision,
+            supervision_policy=supervision_policy,
+            checkpoint_period_ttis=checkpoint_period_ttis,
+            checkpoint_keep=checkpoint_keep)
         self.rib = Rib()
         self.updater = RibUpdater(self.rib)
         self.registry = RegistryService()
-        self.events = EventNotificationService(self.registry)
+        # One supervisor shared by both app entry points (periodic slot
+        # and event fan-out) so a single breaker governs each app.
+        self.supervisor: Optional[AppSupervisor] = (
+            AppSupervisor(supervision_policy) if supervision else None)
+        self.events = EventNotificationService(
+            self.registry, supervisor=self.supervisor)
         self.task_manager = TaskManager(
             self.registry, self.events, realtime=realtime,
-            tti_budget_ms=tti_budget_ms, updater_share=updater_share)
+            tti_budget_ms=tti_budget_ms, updater_share=updater_share,
+            supervisor=self.supervisor)
         self.northbound = NorthboundApi(self)
+        # Imported at use site: snapshot.py needs the RIB node classes,
+        # which would close an import cycle at module scope.
+        from repro.core.survive.snapshot import CheckpointStore
+        self.checkpoints: Optional[CheckpointStore] = (
+            CheckpointStore(checkpoint_period_ttis, keep=checkpoint_keep)
+            if checkpoint_period_ttis else None)
+        #: TTI of the snapshot this master was restored from (-1: cold).
+        self.restored_from_tti = -1
 
         self._endpoints: Dict[int, ProtocolEndpoint] = {}
         self._xid = 0
@@ -151,6 +185,8 @@ class MasterController:
         else:
             self.task_manager.cycle(now, self._drain_agents,
                                     self.northbound)
+        if self.checkpoints is not None and now > 0:
+            self.checkpoints.maybe_take(self, now)
         self.processing_time_s += time.perf_counter() - start
 
     def _drain_agents(self) -> None:
@@ -252,6 +288,51 @@ class MasterController:
     def live_agent_ids(self) -> List[int]:
         """Agents currently considered reachable."""
         return [a for a in self.rib.agent_ids() if self.rib.agent(a).alive]
+
+    # -- checkpoint-restore -------------------------------------------------
+
+    def respawn(self, *, now: int, restore: bool = True
+                ) -> "MasterController":
+        """Build the replacement for this (crashed) master.
+
+        Returns a fresh, identically-configured controller with empty
+        RIB, registry and supervisor state -- optionally seeded from
+        this master's latest checkpoint.  The caller re-attaches the
+        agent endpoints and re-registers the applications, then calls
+        :meth:`resync` to re-request authoritative agent state.
+        """
+        from repro.core.survive.snapshot import restore_master
+        replacement = MasterController(**self._config)
+        replacement.now = now
+        snapshot = (self.checkpoints.latest()
+                    if restore and self.checkpoints is not None else None)
+        if snapshot is not None:
+            restore_master(replacement, snapshot)
+        return replacement
+
+    def resync(self) -> int:
+        """Full agent-driven resynchronization after a restart.
+
+        Re-requests the complete configuration from every connected
+        agent -- the agents, not the snapshot, are the authoritative
+        state source -- and grants each restored RIB node a liveness
+        grace (its silence clock restarts now) so a just-restored
+        master does not instantly declare every agent dead.  Returns
+        the number of agents asked.
+        """
+        asked = 0
+        for agent_id in sorted(self._endpoints):
+            node = self.rib.get_or_create_agent(agent_id)
+            node.last_heard_tti = self.now
+            self._request_config(agent_id)
+            self.northbound.request_config(agent_id, scope="ues")
+            asked += 1
+        logger.warning("master: resync after restart -- re-requested "
+                       "config from %d agents", asked)
+        ob = _obs.get()
+        if ob.enabled:
+            ob.registry.counter("survive.restore.resyncs").inc()
+        return asked
 
     def _react(self, agent_id: int, message: FlexRanMessage) -> None:
         """Protocol-level reactions that keep the RIB view current."""

@@ -71,5 +71,9 @@ class RegistryService:
                 if r.state is AppState.RUNNING]
         return sorted(regs, key=lambda r: (-r.app.priority, r.app.name))
 
+    def registrations(self) -> List[Registration]:
+        """Every registration regardless of state, registration order."""
+        return list(self._registrations.values())
+
     def names(self) -> List[str]:
         return sorted(self._registrations)

@@ -13,6 +13,14 @@ slot is exhausted, remaining (lower-priority) applications are
 deferred to the next cycle and counted.  In non real-time mode "the
 Task Manager does not enforce a strict duration of the cycle".
 
+With an :class:`~repro.core.survive.AppSupervisor` installed, every
+application invocation additionally runs inside a fault boundary: an
+app that raises or chronically overruns its deadline is quarantined
+(skipped entirely, counted per cycle) instead of unwinding the TTI
+cycle -- the enforceable version of the paper's claim that "the
+operation of the master controller is not affected" by misbehaving
+applications.
+
 Per-cycle wall-clock times of both slots are recorded -- they are the
 "Apps" / "Core Components" / "Idle Time" series of Fig. 8.
 """
@@ -27,6 +35,7 @@ from typing import TYPE_CHECKING, Callable, Deque, Dict, Optional
 from repro import obs as _obs
 from repro.core.controller.events import EventNotificationService
 from repro.core.controller.registry import RegistryService
+from repro.core.survive.supervisor import AppSupervisor
 from repro.obs.registry import percentile
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -50,6 +59,8 @@ class CycleRecord:
     apps_run: int
     apps_deferred: int
     overran: bool
+    #: Apps skipped this cycle because their breaker was open.
+    apps_quarantined: int = 0
 
 
 def _cycle_window() -> Deque[float]:
@@ -72,6 +83,7 @@ class CycleStats:
     idle_ms_total: float = 0.0
     overruns: int = 0
     deferred_total: int = 0
+    quarantined_total: int = 0
     core_ms_samples: Deque[float] = field(default_factory=_cycle_window,
                                           repr=False)
     app_ms_samples: Deque[float] = field(default_factory=_cycle_window,
@@ -86,6 +98,7 @@ class CycleStats:
         self.idle_ms_total += record.idle_ms
         self.overruns += int(record.overran)
         self.deferred_total += record.apps_deferred
+        self.quarantined_total += record.apps_quarantined
         self.core_ms_samples.append(record.core_ms)
         self.app_ms_samples.append(record.app_ms)
         self.idle_ms_samples.append(record.idle_ms)
@@ -133,7 +146,8 @@ class TaskManager:
                  events: EventNotificationService, *,
                  realtime: bool = True,
                  tti_budget_ms: float = DEFAULT_TTI_BUDGET_MS,
-                 updater_share: float = DEFAULT_UPDATER_SHARE) -> None:
+                 updater_share: float = DEFAULT_UPDATER_SHARE,
+                 supervisor: Optional[AppSupervisor] = None) -> None:
         if not 0.0 < updater_share < 1.0:
             raise ValueError(
                 f"updater_share must be in (0, 1), got {updater_share}")
@@ -145,6 +159,9 @@ class TaskManager:
         self.realtime = realtime
         self.tti_budget_ms = tti_budget_ms
         self.updater_share = updater_share
+        #: The application fault boundary; None disables supervision
+        #: (the legacy fast path -- an app exception unwinds the cycle).
+        self.supervisor = supervisor
         self.stats = CycleStats()
         self.last_record: Optional[CycleRecord] = None
 
@@ -168,9 +185,11 @@ class TaskManager:
 
         if ob.enabled:
             with ob.tracer.span("task_manager", "apps", tti=tti):
-                apps_run, apps_deferred = self._app_slot(tti, nb, core_end)
+                apps_run, apps_deferred, apps_quarantined = self._app_slot(
+                    tti, nb, core_end)
         else:
-            apps_run, apps_deferred = self._app_slot(tti, nb, core_end)
+            apps_run, apps_deferred, apps_quarantined = self._app_slot(
+                tti, nb, core_end)
         app_ms = (time.perf_counter() - core_end) * 1000.0
 
         if ob.enabled:
@@ -180,25 +199,44 @@ class TaskManager:
             if apps_deferred:
                 registry.counter("master.cycle.apps_deferred").inc(
                     apps_deferred)
+            if apps_quarantined:
+                registry.counter("master.cycle.apps_quarantined").inc(
+                    apps_quarantined)
 
         used_ms = core_ms + app_ms
         record = CycleRecord(
             tti=tti, core_ms=core_ms, app_ms=app_ms,
             idle_ms=max(0.0, self.tti_budget_ms - used_ms),
             apps_run=apps_run, apps_deferred=apps_deferred,
-            overran=used_ms > self.tti_budget_ms)
+            overran=used_ms > self.tti_budget_ms,
+            apps_quarantined=apps_quarantined)
         self.stats.add(record)
         self.last_record = record
         return record
+
+    def _app_deadline_ms(self, app) -> Optional[float]:
+        """Per-invocation deadline: the app's own, or the slot budget."""
+        deadline = getattr(app, "deadline_ms", None)
+        if deadline is not None:
+            return deadline
+        return self.app_budget_ms if self.realtime else None
 
     def _app_slot(self, tti: int, nb: "NorthboundApi",
                   core_end: float) -> tuple:
         """The application slot: event fan-out, then due applications."""
         apps_run = 0
         apps_deferred = 0
+        apps_quarantined = 0
+        sup = self.supervisor
         self._events.dispatch(tti, nb)
         for reg in self._registry.runnable():
             if not reg.app.is_due(tti):
+                continue
+            # Quarantine check precedes budget accounting: an open
+            # breaker consumes none of the slot, so a crash-looping
+            # app cannot starve lower-priority healthy apps.
+            if sup is not None and not sup.admitted(reg.app.name, tti):
+                apps_quarantined += 1
                 continue
             if self.realtime:
                 elapsed_app_ms = (time.perf_counter() - core_end) * 1000.0
@@ -208,10 +246,19 @@ class TaskManager:
             if nb is not None:
                 nb.set_current_app(reg.app)
             try:
-                reg.app.run(tti, nb)
+                if sup is None:
+                    reg.app.run(tti, nb)
+                    completed = True
+                else:
+                    app = reg.app
+                    completed = sup.call(
+                        app.name, lambda: app.run(tti, nb), tti=tti,
+                        kind="periodic",
+                        deadline_ms=self._app_deadline_ms(app))
             finally:
                 if nb is not None:
                     nb.set_current_app(None)
-            reg.runs += 1
-            apps_run += 1
-        return apps_run, apps_deferred
+            if completed:
+                reg.runs += 1
+                apps_run += 1
+        return apps_run, apps_deferred, apps_quarantined

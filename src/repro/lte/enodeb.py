@@ -149,6 +149,7 @@ class EnodeB:
 
         self._plan_dl: Dict[int, List[DlAssignment]] = {}
         self._plan_ul: Dict[int, List[UlGrant]] = {}
+        self.last_plan_tti = -1
         self.last_prbs_dl: Dict[int, int] = {c: 0 for c in self.cells}
         self.last_prbs_ul: Dict[int, int] = {c: 0 for c in self.cells}
         self._pending_feedback: List[Tuple[int, int, int, int, bool]] = []
@@ -392,7 +393,18 @@ class EnodeB:
             self.last_prbs_dl[cell_id] = sum(a.n_prb for a in assignments)
             self.last_prbs_ul[cell_id] = sum(g.n_prb for g in grants)
             cell.mark_transmission(tti, bool(assignments))
+        self.last_plan_tti = tti
         self.processing_time_s += time.perf_counter() - start
+
+    def planned_cell_ids(self, tti: int) -> List[int]:
+        """Cells that received a scheduler decision at *tti*.
+
+        Empty unless :meth:`plan` ran for exactly *tti* -- the chaos
+        harness's every-cell-gets-a-decision invariant reads this.
+        """
+        if self.last_plan_tti != tti:
+            return []
+        return sorted(self._plan_dl)
 
     def transmit(self, tti: int) -> None:
         """Pass 2: apply the plan against the actual channel."""

@@ -227,6 +227,93 @@ def partitioned_centralized(*, n_enbs: int = 1, ues_per_enb: int = 10,
 
 
 # ---------------------------------------------------------------------------
+# Survivability chaos run (app crash + VSF poison + controller restart)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ChaosScenario:
+    """A centralized deployment with a chaos harness attached."""
+
+    sim: Simulation
+    enbs: List[EnodeB]
+    agents: List[FlexRanAgent]
+    app: RemoteSchedulerApp
+    probe: "ProbeApp"
+    harness: "ChaosHarness"
+    actions: List["ChaosAction"]
+
+
+def chaos_survivability(*, n_enbs: int = 1, ues_per_enb: int = 5,
+                        cqi: int = 12, rtt_ms: float = 0.0,
+                        schedule_ahead: int = 8,
+                        crash_window: Tuple[int, int] = (500, 900),
+                        poison_at: Optional[int] = 1500,
+                        restart_at: Optional[int] = 2500,
+                        checkpoint_period_ttis: int = 250,
+                        clearance_ttis: int = 1000,
+                        fault: Optional[FaultSpec] = None,
+                        seed: int = 0) -> ChaosScenario:
+    """The survivability acceptance scenario (composable faults).
+
+    Centralized per-TTI scheduling plus: a crash-looping
+    high-priority probe app (quarantined, then re-admitted after
+    cooldown), a poisoned VSF pushed mid-run (agent sandbox rolls
+    back to the last-known-good scheduler), and a controller crash +
+    checkpoint-restore restart.  Optional *fault* adds PR-1 link
+    faults on the first agent's connection.  The attached harness
+    asserts the survivability invariants every TTI.
+    """
+    from repro.sim.chaos import (
+        AppCrashWindow,
+        ChaosHarness,
+        ControllerRestartAt,
+        ProbeApp,
+        VsfPoisonAt,
+        register_chaos_factories,
+    )
+
+    master = MasterController(
+        realtime=True, checkpoint_period_ttis=checkpoint_period_ttis)
+    sim = Simulation(master=master)
+    app = RemoteSchedulerApp(schedule_ahead=schedule_ahead)
+    master.add_app(app)
+    probe = ProbeApp()
+    master.add_app(probe)
+
+    enbs: List[EnodeB] = []
+    agents: List[FlexRanAgent] = []
+    per_ue_mbps = 1.2 * capacity_mbps(cqi, 50) / max(1, ues_per_enb)
+    for e in range(n_enbs):
+        enb = sim.add_enb(seed=seed + e)
+        registry = VsfFactoryRegistry()
+        register_chaos_factories(registry)
+        agent = sim.add_agent(enb, rtt_ms=rtt_ms, vsf_registry=registry,
+                              connection_config=ConnectionConfig())
+        agent.mac.activate("dl_scheduling", "remote_stub")
+        for i in range(ues_per_enb):
+            ue = Ue(f"{e:02d}{i:04d}", FixedCqi(cqi))
+            sim.add_ue(enb, ue)
+            sim.add_downlink_traffic(enb, ue, CbrSource(per_ue_mbps,
+                                                        start_tti=50))
+        enbs.append(enb)
+        agents.append(agent)
+
+    actions: List = []
+    if crash_window is not None:
+        actions.append(AppCrashWindow(probe.name, *crash_window))
+    if poison_at is not None:
+        actions.append(VsfPoisonAt(poison_at, agents[0].agent_id))
+    if restart_at is not None:
+        actions.append(ControllerRestartAt(restart_at))
+    if fault is not None:
+        fault.apply(sim.connections[agents[0].agent_id])
+    harness = ChaosHarness(sim, actions, clearance_ttis=clearance_ttis)
+    return ChaosScenario(sim=sim, enbs=enbs, agents=agents, app=app,
+                         probe=probe, harness=harness, actions=actions)
+
+
+# ---------------------------------------------------------------------------
 # HetNet eICIC (Fig. 10)
 # ---------------------------------------------------------------------------
 

@@ -200,6 +200,33 @@ class Simulation:
         for enb_id in sorted(self.enbs):
             self.enbs[enb_id].transmit(tti)
 
+    # -- controller restart ------------------------------------------------------
+
+    def restart_master(self, *, restore: bool = True) -> MasterController:
+        """Simulate a controller crash followed by a cold restart.
+
+        The old master's process state (RIB, registry, supervisor) is
+        discarded; a fresh, identically-configured controller takes
+        over the same control connections, optionally seeded from the
+        old master's latest checkpoint.  The same application
+        *instances* are re-registered -- their ``on_start`` hooks
+        re-subscribe statistics and re-push VSFs, the natural
+        application-level resync -- and :meth:`MasterController.resync`
+        re-requests authoritative configuration from every agent.
+        """
+        if self.master is None:
+            raise ValueError("simulation has no master to restart")
+        old = self.master
+        replacement = old.respawn(now=self.clock.now, restore=restore)
+        for agent_id in sorted(self.connections):
+            replacement.connect_agent(
+                agent_id, self.connections[agent_id].master_side)
+        for reg in old.registry.registrations():
+            replacement.add_app(reg.app)
+        replacement.resync()
+        self.master = replacement
+        return replacement
+
     # -- running ------------------------------------------------------------------
 
     def run(self, ttis: int) -> None:

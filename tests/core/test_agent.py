@@ -216,12 +216,16 @@ class TestDelegation:
         vsf = agent.mac.active_vsf("dl_scheduling")
         assert vsf.parameters["ewma_alpha"] == 0.42
 
-    def test_unknown_module_rejected(self, wired):
+    def test_unknown_module_counted_and_dropped(self, wired):
+        # The hardened dispatch boundary: a command naming a module
+        # this agent does not run is counted and dropped, not raised.
         agent, _, conn = wired
         master_send(conn, VsfUpdate(module="phy", operation="x", name="y",
                                     blob=pack_vsf("scheduler:null")))
-        with pytest.raises(KeyError):
-            agent.tick_rx(0)
+        handled_before = agent.messages_handled
+        agent.tick_rx(0)
+        assert agent.dispatch_errors == 1
+        assert agent.messages_handled == handled_before
 
 
 class TestEvents:

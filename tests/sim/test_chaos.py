@@ -1,0 +1,119 @@
+"""Chaos-harness tests: the survivability acceptance scenario."""
+
+from repro.core.survive.supervisor import BreakerState
+from repro.sim.chaos import (
+    AppCrashWindow,
+    ChaosHarness,
+    ControllerRestartAt,
+    ProbeApp,
+    Violation,
+)
+from repro.sim.scenarios import chaos_survivability
+
+
+class TestAcceptanceScenario:
+    def test_full_chaos_run_zero_violations(self):
+        """Crash-looping high-priority app + poisoned VSF push +
+        mid-run controller restart: zero invariant violations, the app
+        is re-admitted after cooldown, the agent ends on the last-good
+        scheduler, and the restored RIB converges to ground truth."""
+        sc = chaos_survivability(crash_window=(500, 900), poison_at=1500,
+                                 restart_at=2500,
+                                 checkpoint_period_ttis=250)
+        # Keep a handle on the pre-restart supervisor: quarantine and
+        # re-admission happen before the restart discards it.
+        original_supervisor = sc.sim.master.supervisor
+        sc.sim.run(4000)
+        report = sc.harness.report()
+        assert report.ok, report.violations[:5]
+        assert report.checks == 4000
+        assert len(report.fired) == 4
+
+        # The probe crashed, was quarantined, then re-admitted and
+        # closed its breaker -- all on the pre-restart master.
+        h = original_supervisor.health(sc.probe.name)
+        assert h.quarantines == 1
+        assert h.readmissions == 1
+        assert h.crashes >= 3
+        assert h.state is BreakerState.CLOSED
+        # After the restart the probe kept running healthily.
+        assert sc.probe.runs_completed > 0
+
+        # The poisoned VSF was quarantined and the agent rolled back
+        # to the last-known-good scheduler.
+        agent = sc.agents[0]
+        slot = agent.mac._slot("dl_scheduling")
+        assert slot.quarantined.get("poisoned") == 1
+        assert "poisoned" not in agent.mac.cached_names("dl_scheduling")
+        assert agent.mac.active_name("dl_scheduling") == "remote_stub"
+
+        # The restart restored from a checkpoint and resynced.
+        assert sc.sim.master.restored_from_tti >= 0
+
+    def test_rollback_reported_to_master_as_event(self):
+        sc = chaos_survivability(crash_window=None, poison_at=500,
+                                 restart_at=None, clearance_ttis=200)
+        sc.sim.run(1200)
+        assert sc.harness.report().ok
+        # The VSF fault traveled to the master as a VSF_FAULT event
+        # and is visible in the agent node's event history.
+        from repro.core.protocol.messages import EventType
+        node = sc.sim.master.rib.agent(sc.agents[0].agent_id)
+        assert any(etype == int(EventType.VSF_FAULT)
+                   for etype, _rnti, _tti in node.last_events)
+
+
+class TestViolationDetection:
+    def test_unsupervised_crash_takes_platform_down(self):
+        """Negative control: the same scripted crash that the chaos
+        scenario survives is fatal when supervision is off."""
+        import pytest
+
+        from repro.core.controller.master import MasterController
+        from repro.lte.phy.channel import FixedCqi
+        from repro.lte.ue import Ue
+        from repro.sim.chaos import ChaosError
+        from repro.sim.simulation import Simulation
+
+        master = MasterController(realtime=False, supervision=False)
+        sim = Simulation(master=master)
+        enb = sim.add_enb()
+        sim.add_agent(enb)
+        sim.add_ue(enb, Ue("001", FixedCqi(12)))
+        probe = ProbeApp()
+        master.add_app(probe)
+        ChaosHarness(sim, [AppCrashWindow(probe.name, 10, 20)],
+                     clearance_ttis=10)
+        with pytest.raises(ChaosError):
+            sim.run(30)
+
+    def test_harness_detects_missing_cycle(self):
+        """Direct check: a TTI where the master never cycled counts as
+        a cycle_ran violation."""
+        from repro.core.controller.master import MasterController
+        from repro.sim.simulation import Simulation
+
+        master = MasterController(realtime=False)
+        sim = Simulation(master=master)
+        sim.add_enb()
+        harness = ChaosHarness(sim, [], clearance_ttis=10 ** 9)
+        # Bypass the master phase: tick the harness checker directly
+        # at a TTI the master never ran.
+        harness._check_invariants(77)
+        assert any(v.invariant == "cycle_ran" and v.tti == 77
+                   for v in harness.violations)
+
+    def test_restart_without_checkpoints_still_converges(self):
+        sc = chaos_survivability(crash_window=None, poison_at=None,
+                                 restart_at=600, checkpoint_period_ttis=250,
+                                 clearance_ttis=600)
+        # Force a cold restart (no restore) by replacing the action.
+        sc.harness.actions[0] = ControllerRestartAt(600, restore=False)
+        sc.sim.run(2000)
+        report = sc.harness.report()
+        assert report.ok, report.violations[:5]
+        assert sc.sim.master.restored_from_tti == -1
+
+    def test_violation_dataclass(self):
+        v = Violation(5, "cycle_ran", "x")
+        assert (v.tti, v.invariant) == (5, "cycle_ran")
