@@ -1,0 +1,47 @@
+"""Scale stress bench: 32 agents x 100 UEs/cell, every hot path at once.
+
+This is the headline scenario of the perf regression harness
+(``repro perf`` / ``benchmarks/harness.py``): each TTI exercises
+context building, scheduling, TBS sizing, statistics encoding/decoding
+and RIB application across 32 eNodeBs.  The pytest-benchmark variant
+here reports the same per-TTI wall-time distribution inside the
+benchmark suite, at a reduced TTI count.
+"""
+
+from __future__ import annotations
+
+from conftest import print_table, run_once
+
+from repro.perf import _percentile, sample_tti_walltime
+from repro.sim.scenarios import large_scale
+
+N_ENBS = 32
+UES_PER_ENB = 100
+WARMUP_TTIS = 40
+RUN_TTIS = 60
+
+
+def run_case():
+    sc = large_scale(n_enbs=N_ENBS, ues_per_enb=UES_PER_ENB)
+    samples = sorted(sample_tti_walltime(
+        sc.sim, warmup_ttis=WARMUP_TTIS, run_ttis=RUN_TTIS))
+    delivered = sum(e.counters.dl_delivered_bytes for e in sc.enbs)
+    return samples, delivered
+
+
+def test_scale_per_tti_walltime(benchmark):
+    samples, delivered = run_once(benchmark, run_case)
+    median = _percentile(samples, 50)
+    p95 = _percentile(samples, 95)
+    print_table(
+        "Scale stress -- per-TTI wall time at 32 agents x 100 UEs/cell "
+        "(the regression harness's headline metric; absolute numbers "
+        "are machine-dependent, track the trajectory via BENCH_perf.json)",
+        ["agents", "UEs", "TTIs", "median us", "p95 us", "DL MB"],
+        [[N_ENBS, N_ENBS * UES_PER_ENB, RUN_TTIS, median, p95,
+          delivered / 1e6]])
+
+    # The deployment is actually doing work: traffic flows end-to-end.
+    assert delivered > 0
+    # Sanity on the distribution shape, not on machine speed.
+    assert 0 < median <= p95

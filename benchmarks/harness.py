@@ -1,0 +1,30 @@
+#!/usr/bin/env python
+"""Benchmark regression harness CLI (repo-local wrapper).
+
+Runs the curated perf suite and writes a schema-versioned
+``BENCH_perf.json`` at the repository root; see ``docs/BENCHMARKS.md``.
+Equivalent to ``PYTHONPATH=src python -m repro perf``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/harness.py [--quick] [--out PATH]
+        [--baseline PATH] [--threshold FRAC] [--bench NAME ...] [--list]
+
+Exits non-zero when ``--baseline`` is given and any bench's median
+regresses beyond the threshold.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+_REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+_SRC = os.path.join(_REPO_ROOT, "src")
+if _SRC not in sys.path:
+    sys.path.insert(0, _SRC)
+
+from repro.perf import main  # noqa: E402
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -20,6 +20,11 @@ Survivability (the ``repro.core.survive`` subsystem):
 
     python -m repro chaos                # scripted faults + invariants
 
+Performance (the ``repro.perf`` regression harness):
+
+    python -m repro perf --quick         # curated suite -> BENCH_perf.json
+    python -m repro perf --baseline benchmarks/baselines/pre_optimization.json
+
 ``trace`` runs a scenario with full instrumentation and writes a
 Chrome trace-event file (open in chrome://tracing or
 https://ui.perfetto.dev) that also embeds the xid-correlated
@@ -315,6 +320,13 @@ def _cmd_chaos(args) -> int:
     return 0
 
 
+def _cmd_perf(args) -> int:
+    """Run the benchmark regression harness (see docs/BENCHMARKS.md)."""
+    from repro.perf import run_from_args
+
+    return run_from_args(args)
+
+
 def _cmd_info() -> None:
     import repro
     from repro.core.protocol.messages import MESSAGE_TYPES
@@ -364,6 +376,11 @@ def main(argv=None) -> int:
                        help="TTI of the poisoned VSF push (0 disables)")
     chaos.add_argument("--restart-at", type=int, default=2500,
                        help="TTI of the controller restart (0 disables)")
+
+    from repro.perf import add_arguments as _add_perf_arguments
+    perf = sub.add_parser(
+        "perf", help="run the benchmark regression harness")
+    _add_perf_arguments(perf)
     args = parser.parse_args(argv)
 
     if args.command == "info":
@@ -376,6 +393,8 @@ def main(argv=None) -> int:
         return _cmd_stats(args)
     elif args.command == "chaos":
         return _cmd_chaos(args)
+    elif args.command == "perf":
+        return _cmd_perf(args)
     else:
         parser.print_help()
         return 2

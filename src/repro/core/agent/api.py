@@ -23,6 +23,8 @@ from repro.lte.enodeb import DlSchedulerHook, EnbEvent, EnodeB, UlSchedulerHook
 from repro.lte.rrc import RrcState
 
 SUBBANDS = 9
+
+_RRC_STATE_INDEX = {state: i for i, state in enumerate(RrcState)}
 """Subband count for 10 MHz CQI reporting (36.213 k=6 RB subbands)."""
 
 HandoverExecutor = Callable[[int, int, int, int], bool]
@@ -119,8 +121,8 @@ class AgentDataPlaneApi:
                 pdcp_tx_bytes=pdcp_tx,
                 pdcp_rx_bytes=pdcp_rx,
                 rx_bytes_total=ue.rx_bytes_total,
-                rrc_state=list(RrcState).index(
-                    self._enb.rrc.context(rnti).state),
+                rrc_state=_RRC_STATE_INDEX[
+                    self._enb.rrc.context(rnti).state],
                 neighbor_cqi=neighbor,
             ))
         return reports

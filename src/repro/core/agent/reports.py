@@ -108,6 +108,12 @@ class ReportsManager:
                 flags: int) -> Tuple[List[UeStatsReport], List[CellStatsReport]]:
         """Trim a full snapshot down to the subscribed statistic groups."""
         ue_full, cell_full = snapshot
+        if flags & StatsFlags.FULL == StatsFlags.FULL:
+            # Fast path for the dominant subscription shape: with every
+            # group subscribed nothing gets trimmed, and the snapshot
+            # is already a fresh per-call structure, so per-report
+            # copies buy no isolation the caller doesn't have.
+            return list(ue_full), list(cell_full)
         cells = list(cell_full) if flags & StatsFlags.CELL else []
         ues: List[UeStatsReport] = []
         for rep in ue_full:

@@ -197,11 +197,13 @@ class MasterController:
         for agent_id in sorted(self._endpoints):
             endpoint = self._endpoints[agent_id]
             messages = endpoint.receive(now=self.now)
-            if messages:
-                self._note_alive(agent_id)
-                drained += len(messages)
+            if not messages:
+                continue
+            self._note_alive(agent_id)
+            drained += len(messages)
+            gathered.extend(
+                self.updater.apply_batch(agent_id, messages, self.now))
             for message in messages:
-                gathered.extend(self.updater.apply(agent_id, message, self.now))
                 self._react(agent_id, message)
                 if ob.enabled:
                     # Final lifecycle stage of an uplink message: the

@@ -18,12 +18,20 @@ from __future__ import annotations
 
 from repro.core.protocol.errors import DecodeError, UnknownMessageType
 from repro.core.protocol.messages import MESSAGE_TYPES, FlexRanMessage, Header
-from repro.core.protocol.wire import Reader, Writer
+from repro.core.protocol.wire import CountingWriter, Reader, Writer
+
+# Scratch buffers reused across calls: encode runs on every message of
+# every TTI, and a fresh bytearray per frame dominated the profile.
+# The simulator is single-threaded and message encoders never nest a
+# codec call, so one scratch of each kind suffices; reset() at entry
+# also clears any residue from an encoder that raised mid-frame.
+_SCRATCH = Writer()
+_SIZER = CountingWriter()
 
 
 def encode(message: FlexRanMessage) -> bytes:
     """Serialize *message* into a wire frame."""
-    w = Writer()
+    w = _SCRATCH.reset()
     w.byte(message.MSG_TYPE)
     message.header.encode(w)
     message.encode_payload(w)
@@ -47,5 +55,13 @@ def decode(frame: bytes) -> FlexRanMessage:
 
 
 def encoded_size(message: FlexRanMessage) -> int:
-    """Wire size of *message* in bytes (the Fig. 7 accounting unit)."""
-    return len(encode(message))
+    """Wire size of *message* in bytes (the Fig. 7 accounting unit).
+
+    Computed arithmetically through a :class:`CountingWriter` -- same
+    field walk and validation as :func:`encode`, no byte buffer.
+    """
+    w = _SIZER.reset()
+    w.byte(message.MSG_TYPE)
+    message.header.encode(w)
+    message.encode_payload(w)
+    return w.size

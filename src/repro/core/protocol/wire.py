@@ -7,6 +7,11 @@ reproduction implements the same family of primitives from scratch:
 LEB128 varints, length-prefixed UTF-8 strings and byte blobs, and
 homogeneous collections.  Wire sizes are therefore directly comparable
 to a protobuf encoding of the same data.
+
+Encode and decode enforce the same 10-byte varint bound, so every
+frame a :class:`Writer` can produce is one a :class:`Reader` will
+accept: out-of-range values raise :class:`EncodeError` at the sender
+instead of a :class:`DecodeError` at the receiver.
 """
 
 from __future__ import annotations
@@ -17,30 +22,61 @@ from repro.core.protocol.errors import DecodeError, EncodeError
 
 _MAX_VARINT_BYTES = 10
 
+# A 10-byte LEB128 varint carries 10 x 7 = 70 payload bits, so the
+# largest encodable unsigned value is 2^70 - 1.  Zigzag halves that
+# range symmetrically around zero.
+_VARINT_LIMIT = 1 << (7 * _MAX_VARINT_BYTES)
+_SVARINT_MIN = -(_VARINT_LIMIT >> 1)
+_SVARINT_MAX = (_VARINT_LIMIT >> 1) - 1
+
 
 class Writer:
-    """Append-only wire buffer."""
+    """Append-only wire buffer, reusable across messages via :meth:`reset`."""
+
+    __slots__ = ("_parts",)
 
     def __init__(self) -> None:
         self._parts = bytearray()
 
+    def reset(self) -> "Writer":
+        """Clear the buffer for reuse (keeps the allocation warm)."""
+        del self._parts[:]
+        return self
+
     def varint(self, value: int) -> "Writer":
         """Append an unsigned LEB128 varint."""
-        if value < 0:
-            raise EncodeError(f"varint cannot encode negative value {value}")
-        while True:
-            byte = value & 0x7F
+        if value < 0x80:
+            # Fast path: the overwhelming majority of protocol fields
+            # (CQIs, PRB counts, list lengths, flags) fit in one byte.
+            if value < 0:
+                raise EncodeError(
+                    f"varint cannot encode negative value {value}")
+            self._parts.append(value)
+            return self
+        if value >= _VARINT_LIMIT:
+            raise EncodeError(
+                f"varint out of range: {value} needs more than "
+                f"{_MAX_VARINT_BYTES} bytes")
+        parts = self._parts
+        while value >= 0x80:
+            parts.append((value & 0x7F) | 0x80)
             value >>= 7
-            if value:
-                self._parts.append(byte | 0x80)
-            else:
-                self._parts.append(byte)
-                return self
+        parts.append(value)
+        return self
 
     def svarint(self, value: int) -> "Writer":
-        """Append a signed integer using zigzag encoding."""
-        return self.varint((value << 1) ^ (value >> 63) if value < 0
-                           else value << 1)
+        """Append a signed integer using zigzag encoding.
+
+        The mapping is width-free (no 64-bit assumption): zigzag(v) is
+        ``2v`` for ``v >= 0`` and ``-2v - 1`` for ``v < 0``, valid for
+        arbitrary Python ints.  Values outside the 10-byte varint range
+        raise :class:`EncodeError`.
+        """
+        if value < _SVARINT_MIN or value > _SVARINT_MAX:
+            raise EncodeError(
+                f"svarint out of range: {value} not in "
+                f"[{_SVARINT_MIN}, {_SVARINT_MAX}]")
+        return self.varint((value << 1) if value >= 0 else ~(value << 1))
 
     def byte(self, value: int) -> "Writer":
         if not 0 <= value <= 0xFF:
@@ -62,22 +98,25 @@ class Writer:
     def varint_list(self, values: Iterable[int]) -> "Writer":
         items = list(values)
         self.varint(len(items))
+        varint = self.varint
         for v in items:
-            self.varint(v)
+            varint(v)
         return self
 
     def svarint_list(self, values: Iterable[int]) -> "Writer":
         items = list(values)
         self.varint(len(items))
+        svarint = self.svarint
         for v in items:
-            self.svarint(v)
+            svarint(v)
         return self
 
     def int_map(self, mapping: Dict[int, int]) -> "Writer":
         self.varint(len(mapping))
+        varint = self.varint
         for key in sorted(mapping):
-            self.varint(key)
-            self.varint(mapping[key])
+            varint(key)
+            varint(mapping[key])
         return self
 
     def str_map(self, mapping: Dict[str, str]) -> "Writer":
@@ -94,8 +133,103 @@ class Writer:
         return len(self._parts)
 
 
+class CountingWriter:
+    """Writer-shaped sink that accumulates only the encoded size.
+
+    Drives the same ``encode``/``encode_payload`` methods as
+    :class:`Writer` but never materializes bytes, so
+    :func:`repro.core.protocol.codec.encoded_size` costs arithmetic
+    instead of a full serialization.  Validation matches
+    :class:`Writer` exactly: anything this accepts, a real encode
+    accepts too (and vice versa).
+    """
+
+    __slots__ = ("size",)
+
+    def __init__(self) -> None:
+        self.size = 0
+
+    def reset(self) -> "CountingWriter":
+        self.size = 0
+        return self
+
+    def varint(self, value: int) -> "CountingWriter":
+        if value < 0x80:
+            if value < 0:
+                raise EncodeError(
+                    f"varint cannot encode negative value {value}")
+            self.size += 1
+            return self
+        if value >= _VARINT_LIMIT:
+            raise EncodeError(
+                f"varint out of range: {value} needs more than "
+                f"{_MAX_VARINT_BYTES} bytes")
+        self.size += (value.bit_length() + 6) // 7
+        return self
+
+    def svarint(self, value: int) -> "CountingWriter":
+        if value < _SVARINT_MIN or value > _SVARINT_MAX:
+            raise EncodeError(
+                f"svarint out of range: {value} not in "
+                f"[{_SVARINT_MIN}, {_SVARINT_MAX}]")
+        return self.varint((value << 1) if value >= 0 else ~(value << 1))
+
+    def byte(self, value: int) -> "CountingWriter":
+        if not 0 <= value <= 0xFF:
+            raise EncodeError(f"byte out of range: {value}")
+        self.size += 1
+        return self
+
+    def string(self, text: str) -> "CountingWriter":
+        data = text.encode("utf-8")
+        self.varint(len(data))
+        self.size += len(data)
+        return self
+
+    def blob(self, data: bytes) -> "CountingWriter":
+        self.varint(len(data))
+        self.size += len(data)
+        return self
+
+    def varint_list(self, values: Iterable[int]) -> "CountingWriter":
+        items = list(values)
+        self.varint(len(items))
+        varint = self.varint
+        for v in items:
+            varint(v)
+        return self
+
+    def svarint_list(self, values: Iterable[int]) -> "CountingWriter":
+        items = list(values)
+        self.varint(len(items))
+        svarint = self.svarint
+        for v in items:
+            svarint(v)
+        return self
+
+    def int_map(self, mapping: Dict[int, int]) -> "CountingWriter":
+        self.varint(len(mapping))
+        varint = self.varint
+        for key in mapping:  # size is order-independent
+            varint(key)
+            varint(mapping[key])
+        return self
+
+    def str_map(self, mapping: Dict[str, str]) -> "CountingWriter":
+        self.varint(len(mapping))
+        for key in mapping:
+            self.string(key)
+            self.string(mapping[key])
+        return self
+
+    def __len__(self) -> int:
+        return self.size
+
+
 class Reader:
     """Sequential wire-buffer reader."""
+
+    __slots__ = ("_data", "_pos")
 
     def __init__(self, data: bytes) -> None:
         self._data = data
@@ -106,20 +240,35 @@ class Reader:
         return len(self._data) - self._pos
 
     def varint(self) -> int:
-        result = 0
-        shift = 0
-        for _ in range(_MAX_VARINT_BYTES):
-            if self._pos >= len(self._data):
+        data = self._data
+        pos = self._pos
+        if pos >= len(data):
+            raise DecodeError("truncated varint")
+        byte = data[pos]
+        if not byte & 0x80:
+            # Fast path: single-byte varint (the common case on every
+            # hot decode: CQIs, list lengths, RNTIs below 128, flags).
+            self._pos = pos + 1
+            return byte
+        result = byte & 0x7F
+        shift = 7
+        pos += 1
+        for _ in range(_MAX_VARINT_BYTES - 1):
+            if pos >= len(data):
                 raise DecodeError("truncated varint")
-            byte = self._data[self._pos]
-            self._pos += 1
+            byte = data[pos]
+            pos += 1
             result |= (byte & 0x7F) << shift
             if not byte & 0x80:
+                self._pos = pos
                 return result
             shift += 7
         raise DecodeError("varint longer than 10 bytes")
 
     def svarint(self) -> int:
+        # The 10-byte cap in :meth:`varint` mirrors the Writer-side
+        # range check: every decodable zigzag value lies inside
+        # [_SVARINT_MIN, _SVARINT_MAX], so round-trips are total.
         raw = self.varint()
         return (raw >> 1) ^ -(raw & 1)
 
@@ -131,22 +280,31 @@ class Reader:
         return value
 
     def string(self) -> str:
-        return self._take(self.varint()).decode("utf-8")
+        data = self._take(self.varint())
+        try:
+            return data.decode("utf-8")
+        except UnicodeDecodeError as exc:
+            raise DecodeError(f"invalid UTF-8 in string field: {exc}") \
+                from None
 
     def blob(self) -> bytes:
         return self._take(self.varint())
 
     def varint_list(self) -> List[int]:
-        return [self.varint() for _ in range(self.varint())]
+        varint = self.varint
+        return [varint() for _ in range(varint())]
 
     def svarint_list(self) -> List[int]:
-        return [self.svarint() for _ in range(self.varint())]
+        svarint = self.svarint
+        return [svarint() for _ in range(self.varint())]
 
     def int_map(self) -> Dict[int, int]:
-        return {self.varint(): self.varint() for _ in range(self.varint())}
+        varint = self.varint
+        return {varint(): varint() for _ in range(varint())}
 
     def str_map(self) -> Dict[str, str]:
-        return {self.string(): self.string() for _ in range(self.varint())}
+        string = self.string
+        return {string(): string() for _ in range(self.varint())}
 
     def expect_end(self) -> None:
         if self.remaining:
@@ -165,8 +323,10 @@ def varint_size(value: int) -> int:
     """Encoded size of an unsigned varint, in bytes."""
     if value < 0:
         raise EncodeError(f"varint cannot encode negative value {value}")
-    size = 1
-    while value >= 0x80:
-        value >>= 7
-        size += 1
-    return size
+    if value >= _VARINT_LIMIT:
+        raise EncodeError(
+            f"varint out of range: {value} needs more than "
+            f"{_MAX_VARINT_BYTES} bytes")
+    if value < 0x80:
+        return 1
+    return (value.bit_length() + 6) // 7

@@ -225,6 +225,10 @@ class EnodeB:
     def rntis(self) -> List[int]:
         return sorted(self._ue_cell)
 
+    def has_ue(self, rnti: int) -> bool:
+        """O(1) attachment test (use instead of ``rnti in rntis()``)."""
+        return rnti in self._ue_cell
+
     # -- carrier aggregation ---------------------------------------------
 
     def activate_scell(self, rnti: int, scell_id: int, *,
@@ -335,31 +339,40 @@ class EnodeB:
         """Scheduler-facing snapshot for one cell and TTI."""
         cell = self.cells[cell_id]
         views: List[UeView] = []
+        rlc_map = self.rlc
+        schedulable = (RrcState.CONNECTING, RrcState.CONNECTED)
         for rnti in cell.rntis():
             ctx = self.rrc.context(rnti)
-            if ctx.state not in (RrcState.CONNECTING, RrcState.CONNECTED):
+            if ctx.state not in schedulable:
                 continue
             if not self.drx.is_awake(rnti, tti):
                 continue  # sleeping UEs cannot be scheduled
             ue = cell.ues[rnti]
+            queues = rlc_map[rnti].queues.sizes()
             views.append(UeView(
                 rnti=rnti,
-                queue_bytes=self.rlc[rnti].buffer_bytes(),
+                queue_bytes=sum(queues.values()),
                 cqi=cell.scheduling_cqi(rnti, tti),
                 avg_rate_bps=ue.meter.rate_mbps(tti) * 1e6,
-                labels=dict(ue.labels),
+                # The snapshot borrows the UE's label dict: schedulers
+                # only read it, and labels never change inside a TTI.
+                labels=ue.labels,
                 ul_buffer_bytes=ue.ul_backlog_bytes,
-                queues=self.rlc[rnti].queues.sizes(),
+                queues=queues,
             ))
-        view_rntis = {v.rnti for v in views}
+        if self.bearer_qos:
+            view_rntis = {v.rnti for v in views}
+            bearer_qos = {key: profile
+                          for key, profile in self.bearer_qos.items()
+                          if key[0] in view_rntis}
+        else:
+            bearer_qos = {}
         return SchedulingContext(
             tti=tti, n_prb=cell.n_prb, ues=views,
             pending_retx=self.harq[cell_id].all_pending_retx(tti),
             cell_id=cell_id, subframe=tti % SUBFRAMES_PER_FRAME,
             abs_subframe=cell.is_muted(tti),
-            bearer_qos={key: profile
-                        for key, profile in self.bearer_qos.items()
-                        if key[0] in view_rntis})
+            bearer_qos=bearer_qos)
 
     # -- per-TTI engine ---------------------------------------------------
 

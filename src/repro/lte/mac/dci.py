@@ -11,7 +11,7 @@ protocol) unchanged.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Collection, Dict, List, Optional, Sequence
 
 from repro.lte.phy.cqi import validate_cqi
 
@@ -51,7 +51,7 @@ class UlGrant:
             raise ValueError(f"grant must use >= 1 PRB, got {self.n_prb}")
 
 
-@dataclass
+@dataclass(slots=True)
 class UeView:
     """Per-UE state snapshot handed to schedulers.
 
@@ -98,6 +98,15 @@ class SchedulingContext:
     #: (rnti, lcid) -> QoS profile of configured bearers (see
     #: :mod:`repro.lte.mac.qos`); empty when no QoS is provisioned.
     bearer_qos: Dict = field(default_factory=dict)
+    # Memoized views, computed on first use.  A context describes one
+    # (cell, TTI) snapshot -- UE state does not change while schedulers
+    # consult it -- so backlog and candidate sets are computed once per
+    # TTI even when several algorithm passes (slices, inner policies)
+    # run over the same context.
+    _backlogged: Optional[List[UeView]] = field(
+        default=None, init=False, repr=False, compare=False)
+    _schedulable: Optional[List[UeView]] = field(
+        default=None, init=False, repr=False, compare=False)
 
     def ue(self, rnti: int) -> Optional[UeView]:
         """Find the view for *rnti*, or ``None``."""
@@ -107,9 +116,31 @@ class SchedulingContext:
         return None
 
     def backlogged(self) -> List[UeView]:
-        """UEs with downlink data waiting, in RNTI order."""
-        return sorted((u for u in self.ues if u.queue_bytes > 0),
-                      key=lambda u: u.rnti)
+        """UEs with downlink data waiting, in RNTI order.
+
+        The list is memoized; callers must treat it as read-only (take
+        a copy before reordering or mutating).
+        """
+        if self._backlogged is None:
+            self._backlogged = sorted(
+                (u for u in self.ues if u.queue_bytes > 0),
+                key=lambda u: u.rnti)
+        return self._backlogged
+
+    def candidates(self, exclude_rntis: Collection[int] = ()) -> List[UeView]:
+        """Schedulable new-data UEs: backlogged with a usable CQI.
+
+        The base set is memoized per context; *exclude_rntis* (e.g.
+        UEs already holding a HARQ retransmission this TTI) is applied
+        per call.  Always returns a fresh list the caller may reorder.
+        """
+        base = self._schedulable
+        if base is None:
+            base = [u for u in self.backlogged() if u.cqi > 0]
+            self._schedulable = base
+        if exclude_rntis:
+            return [u for u in base if u.rnti not in exclude_rntis]
+        return list(base)
 
 
 def total_prbs(assignments: Sequence[DlAssignment]) -> int:

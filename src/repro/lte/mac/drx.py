@@ -89,10 +89,17 @@ class DrxManager:
         self.state(rnti).config = config
 
     def is_awake(self, rnti: int, tti: int) -> bool:
-        return self.state(rnti).is_awake(tti)
+        # Fast path: a UE never touched by a DRX command has no state
+        # and is always awake.  Avoiding state() here keeps _states
+        # populated only with DRX-relevant UEs, so per-TTI accounting
+        # stays proportional to DRX users rather than attached UEs.
+        state = self._states.get(rnti)
+        return state.is_awake(tti) if state is not None else True
 
     def note_activity(self, rnti: int, tti: int) -> None:
-        self.state(rnti).note_activity(tti)
+        state = self._states.get(rnti)
+        if state is not None:
+            state.note_activity(tti)
 
     def account_all(self, tti: int) -> None:
         for state in self._states.values():

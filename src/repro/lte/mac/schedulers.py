@@ -17,6 +17,7 @@ manipulate at runtime (Fig. 3): e.g. the RAN-sharing experiment changes
 from __future__ import annotations
 
 import abc
+from functools import lru_cache
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro import obs as _obs
@@ -26,11 +27,16 @@ from repro.lte.phy.tbs import prbs_needed, transport_block_bits
 from repro.lte.rlc import RLC_HEADER_BYTES
 
 
+@lru_cache(maxsize=1 << 15)
 def prbs_for_queue(cqi: int, queue_bytes: int) -> int:
     """PRBs needed to drain *queue_bytes* including RLC/MAC header room.
 
     Sizing the transport block to the bare queue would leave no room
     for the per-PDU header and strand sub-header-sized tails forever.
+
+    Cached on ``(cqi, queue_bytes)``: schedulers size the same queue
+    levels every TTI (CBR sources and saturated buffers repeat the
+    same byte counts), so the hot path is a dict hit.
     """
     if queue_bytes <= 0:
         return 0
@@ -109,7 +115,16 @@ def _greedy_fill(ues: Sequence[UeView], budget: int, tti: int,
     if not candidates:
         return out
     if min_share_prb > 0:
-        share = max(min_share_prb, budget // len(candidates))
+        fair = budget // len(candidates)
+        if min_share_prb * len(candidates) <= budget:
+            share = max(min_share_prb, fair)
+        else:
+            # The budget cannot give every candidate its minimum share.
+            # Handing min_share_prb to the UEs served first would leave
+            # the tail with zero PRBs; clamp to the fair split instead
+            # so everyone keeps a slot ("at least that many PRBs where
+            # possible" -- and where not possible, degrade evenly).
+            share = max(1, fair)
     else:
         share = budget
     for ue in candidates:
@@ -143,8 +158,7 @@ class RoundRobinScheduler(Scheduler):
         out = schedule_retransmissions(ctx, ctx.n_prb)
         remaining = ctx.n_prb - sum(a.n_prb for a in out)
         retx_rntis = {a.rnti for a in out}
-        backlogged = [u for u in ctx.backlogged()
-                      if u.cqi > 0 and u.rnti not in retx_rntis]
+        backlogged = ctx.candidates(retx_rntis)
         if not backlogged or remaining <= 0:
             return out
         start = self._next_index % len(backlogged)
@@ -180,8 +194,7 @@ class FairShareScheduler(Scheduler):
         out = schedule_retransmissions(ctx, ctx.n_prb)
         remaining = ctx.n_prb - sum(a.n_prb for a in out)
         retx_rntis = {a.rnti for a in out}
-        backlogged = [u for u in ctx.backlogged()
-                      if u.cqi > 0 and u.rnti not in retx_rntis]
+        backlogged = ctx.candidates(retx_rntis)
         if not backlogged or remaining <= 0:
             return out
         # Rotate who receives the remainder PRBs so that quantization
@@ -227,8 +240,7 @@ class ProportionalFairScheduler(Scheduler):
         out = schedule_retransmissions(ctx, ctx.n_prb)
         remaining = ctx.n_prb - sum(a.n_prb for a in out)
         retx_rntis = {a.rnti for a in out}
-        candidates = [u for u in ctx.backlogged()
-                      if u.cqi > 0 and u.rnti not in retx_rntis]
+        candidates = ctx.candidates(retx_rntis)
         served_bits: Dict[int, int] = {}
         while remaining > 0 and candidates:
             def metric(u: UeView) -> float:
@@ -268,8 +280,7 @@ class MaxCqiScheduler(Scheduler):
         out = schedule_retransmissions(ctx, ctx.n_prb)
         remaining = ctx.n_prb - sum(a.n_prb for a in out)
         retx_rntis = {a.rnti for a in out}
-        ranked = sorted((u for u in ctx.backlogged()
-                         if u.cqi > 0 and u.rnti not in retx_rntis),
+        ranked = sorted(ctx.candidates(retx_rntis),
                         key=lambda u: (-u.cqi, u.rnti))
         out.extend(_greedy_fill(ranked, remaining, ctx.tti))
         return out

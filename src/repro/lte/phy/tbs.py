@@ -12,6 +12,8 @@ takes directly from the standard CQI table.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.lte.constants import (
     DATA_RES_PER_PRB,
     IMPLEMENTATION_EFFICIENCY,
@@ -19,7 +21,14 @@ from repro.lte.constants import (
 )
 from repro.lte.phy.cqi import cqi_efficiency, validate_cqi
 
+# Both sizing functions are pure maps over a small input space (15
+# CQIs x the PRB counts / byte needs a deployment actually exhibits)
+# and sit on the per-TTI hot path of every scheduler, so they are
+# memoized.  lru_cache does not cache raised exceptions, so the
+# validation behaviour for bad inputs is unchanged.
 
+
+@lru_cache(maxsize=1 << 14)
 def transport_block_bits(cqi: int, n_prb: int, *, uplink: bool = False) -> int:
     """Bits deliverable in one TTI over *n_prb* PRBs at *cqi*.
 
@@ -47,6 +56,7 @@ def capacity_mbps(cqi: int, n_prb: int, *, uplink: bool = False) -> float:
     return transport_block_bits(cqi, n_prb, uplink=uplink) / 1000.0
 
 
+@lru_cache(maxsize=1 << 15)
 def prbs_needed(cqi: int, bits: int, *, uplink: bool = False) -> int:
     """Minimum PRBs required to carry *bits* in one TTI at *cqi*.
 

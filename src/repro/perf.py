@@ -1,0 +1,355 @@
+"""Benchmark regression harness: the repo's recorded perf trajectory.
+
+The paper's headline scalability claims (Fig. 6 CPU overhead, Fig. 7
+sublinear signaling, Fig. 8 master scaling) are all statements about
+per-TTI processing cost.  This module turns those into a *regression
+gate*: a curated suite of scenarios is run under per-TTI wall-clock
+sampling, the medians/tails are written to a schema-versioned
+``BENCH_perf.json``, and a later run can be compared against that
+baseline with a configurable threshold.
+
+Entry points:
+
+* ``python -m repro perf`` (CLI subcommand)
+* ``python benchmarks/harness.py`` (same runner, repo-local wrapper)
+
+Both write ``BENCH_perf.json`` at the repository root by default and
+exit non-zero when ``--baseline`` is given and any bench's median
+regresses beyond the threshold.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+SCHEMA = "repro.bench/1"
+"""Version stamp of the ``BENCH_perf.json`` document layout."""
+
+DEFAULT_THRESHOLD = 0.10
+"""Median regression beyond this fraction fails the comparison."""
+
+DEFAULT_REPORT = "BENCH_perf.json"
+
+
+# ---------------------------------------------------------------------------
+# Measurement
+# ---------------------------------------------------------------------------
+
+
+def _percentile(sorted_samples: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending sample list."""
+    if not sorted_samples:
+        return 0.0
+    rank = min(len(sorted_samples) - 1,
+               max(0, int(round(q / 100.0 * (len(sorted_samples) - 1)))))
+    return sorted_samples[rank]
+
+
+def sample_tti_walltime(sim, *, warmup_ttis: int, run_ttis: int) -> List[float]:
+    """Per-TTI wall-clock samples (microseconds) over *run_ttis* TTIs."""
+    if warmup_ttis > 0:
+        sim.run(warmup_ttis)
+    perf_counter = time.perf_counter
+    samples: List[float] = []
+    for _ in range(run_ttis):
+        t0 = perf_counter()
+        sim.run(1)
+        samples.append((perf_counter() - t0) * 1e6)
+    return samples
+
+
+@dataclass
+class BenchResult:
+    """Summary statistics of one bench run."""
+
+    name: str
+    samples: List[float]
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def summary(self) -> Dict[str, object]:
+        ordered = sorted(self.samples)
+        n = len(ordered)
+        return {
+            "unit": "us_per_tti",
+            "n": n,
+            "median_us": round(_percentile(ordered, 50), 2),
+            "p95_us": round(_percentile(ordered, 95), 2),
+            "mean_us": round(sum(ordered) / n, 2) if n else 0.0,
+            "min_us": round(ordered[0], 2) if n else 0.0,
+            "max_us": round(ordered[-1], 2) if n else 0.0,
+            "meta": dict(self.meta),
+        }
+
+
+# ---------------------------------------------------------------------------
+# The curated suite
+# ---------------------------------------------------------------------------
+#
+# Every bench builds one canonical scenario and samples the wall time
+# of each simulated TTI.  ``quick`` trims run lengths (for CI smoke
+# runs), never the topology, so quick and full numbers stay comparable
+# in shape even though quick medians are noisier.
+
+
+def _bench_fig6_cell(quick: bool) -> BenchResult:
+    """Fig. 6 substrate: one saturated cell, agent + per-TTI stats."""
+    from repro.core.protocol.messages import ReportType
+    from repro.net.clock import Phase
+    from repro.sim.scenarios import saturated_cell
+
+    sc = saturated_cell(n_ues=1, with_agent=True, with_master=True)
+
+    def subscribe(tti: int) -> None:
+        if tti == 2:
+            sc.sim.master.northbound.request_stats(
+                sc.agent.agent_id, report_type=ReportType.PERIODIC,
+                period_ttis=1)
+    sc.sim.clock.register(Phase.POST, subscribe)
+    samples = sample_tti_walltime(sc.sim, warmup_ttis=100,
+                                  run_ttis=400 if quick else 2000)
+    return BenchResult("fig6_cell", samples,
+                       meta={"ues": 1, "agents": 1,
+                             "dl_mbps": round(
+                                 sc.ues[0].throughput_mbps(sc.sim.now), 2)})
+
+
+def _bench_fig7_signaling(quick: bool) -> BenchResult:
+    """Fig. 7 worst case: centralized per-TTI scheduling, 30 UEs."""
+    from repro.sim.scenarios import centralized_scheduling
+
+    sc = centralized_scheduling(ues_per_enb=30, cqi=12)
+    samples = sample_tti_walltime(sc.sim, warmup_ttis=100,
+                                  run_ttis=300 if quick else 1500)
+    conn = sc.sim.connections[sc.agents[0].agent_id]
+    return BenchResult("fig7_signaling", samples,
+                       meta={"ues": 30, "agents": 1,
+                             "ul_messages": conn.channel.uplink.total_messages})
+
+
+def _bench_fig8_master(quick: bool) -> BenchResult:
+    """Fig. 8: the master's TTI cycle with several reporting agents."""
+    from repro.sim.scenarios import centralized_scheduling
+
+    sc = centralized_scheduling(n_enbs=4, ues_per_enb=16, cqi=12)
+    samples = sample_tti_walltime(sc.sim, warmup_ttis=100,
+                                  run_ttis=300 if quick else 1200)
+    stats = sc.sim.master.task_manager.stats
+    return BenchResult("fig8_master", samples,
+                       meta={"ues": 64, "agents": 4,
+                             "master_core_ms": round(stats.mean_core_ms, 4)})
+
+
+def _bench_fig9_latency(quick: bool) -> BenchResult:
+    """Fig. 9 feasibility point: 20 ms control RTT, schedule-ahead."""
+    from repro.sim.scenarios import centralized_scheduling
+
+    sc = centralized_scheduling(ues_per_enb=5, rtt_ms=20.0,
+                                schedule_ahead=24, load_factor=1.2)
+    samples = sample_tti_walltime(sc.sim, warmup_ttis=100,
+                                  run_ttis=300 if quick else 1500)
+    return BenchResult("fig9_latency", samples,
+                       meta={"ues": 5, "agents": 1, "rtt_ms": 20.0,
+                             "schedule_ahead": 24})
+
+
+def _bench_scale(quick: bool) -> BenchResult:
+    """The headline metric: 32 agents x 100 UEs/cell, every hot path."""
+    from repro.sim.scenarios import large_scale
+
+    sc = large_scale(n_enbs=32, ues_per_enb=100)
+    samples = sample_tti_walltime(sc.sim, warmup_ttis=40,
+                                  run_ttis=60 if quick else 250)
+    delivered = sum(e.counters.dl_delivered_bytes for e in sc.enbs)
+    return BenchResult("scale", samples,
+                       meta={"ues": len(sc.ues), "agents": len(sc.agents),
+                             "dl_delivered_mb": round(delivered / 1e6, 2)})
+
+
+SUITE: Dict[str, Callable[[bool], BenchResult]] = {
+    "fig6_cell": _bench_fig6_cell,
+    "fig7_signaling": _bench_fig7_signaling,
+    "fig8_master": _bench_fig8_master,
+    "fig9_latency": _bench_fig9_latency,
+    "scale": _bench_scale,
+}
+
+
+# ---------------------------------------------------------------------------
+# Report document
+# ---------------------------------------------------------------------------
+
+
+def environment_stamp() -> Dict[str, object]:
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count() or 0,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+    }
+
+
+def run_suite(names: Optional[Sequence[str]] = None, *,
+              quick: bool = False,
+              progress: Callable[[str], None] = lambda line: None
+              ) -> Dict[str, object]:
+    """Run the selected benches; returns the report document."""
+    selected = list(names) if names else list(SUITE)
+    unknown = [n for n in selected if n not in SUITE]
+    if unknown:
+        raise ValueError(
+            f"unknown bench(es) {unknown}; available: {sorted(SUITE)}")
+    benches: Dict[str, object] = {}
+    for name in selected:
+        progress(f"running {name} ({'quick' if quick else 'full'}) ...")
+        result = SUITE[name](quick)
+        summary = result.summary()
+        benches[name] = summary
+        progress(f"  {name}: median {summary['median_us']:.0f} us/TTI, "
+                 f"p95 {summary['p95_us']:.0f} us/TTI "
+                 f"(n={summary['n']})")
+    return {
+        "schema": SCHEMA,
+        "quick": quick,
+        "env": environment_stamp(),
+        "benches": benches,
+    }
+
+
+def write_report(doc: Dict[str, object], path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+
+
+def load_report(path: str) -> Dict[str, object]:
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    schema = doc.get("schema")
+    if schema != SCHEMA:
+        raise ValueError(
+            f"{path}: unsupported bench schema {schema!r} "
+            f"(expected {SCHEMA!r})")
+    return doc
+
+
+@dataclass
+class Delta:
+    """Comparison of one bench between a run and its baseline."""
+
+    name: str
+    baseline_median_us: float
+    current_median_us: float
+    change: float  # fractional: +0.25 == 25% slower
+
+    @property
+    def regressed(self) -> bool:
+        return self.change > 0
+
+
+def compare(current: Dict[str, object], baseline: Dict[str, object],
+            *, threshold: float = DEFAULT_THRESHOLD
+            ) -> Tuple[List[Delta], List[Delta]]:
+    """Compare medians; returns (all deltas, regressions over threshold)."""
+    deltas: List[Delta] = []
+    regressions: List[Delta] = []
+    current_benches = current["benches"]
+    for name, base in sorted(baseline["benches"].items()):
+        if name not in current_benches:
+            continue  # bench removed/not selected: not a regression
+        base_median = float(base["median_us"])
+        cur_median = float(current_benches[name]["median_us"])
+        change = ((cur_median - base_median) / base_median
+                  if base_median > 0 else 0.0)
+        delta = Delta(name=name, baseline_median_us=base_median,
+                      current_median_us=cur_median, change=change)
+        deltas.append(delta)
+        if change > threshold:
+            regressions.append(delta)
+    return deltas, regressions
+
+
+def format_comparison(deltas: Sequence[Delta],
+                      regressions: Sequence[Delta],
+                      threshold: float) -> str:
+    lines = [f"baseline comparison (threshold {threshold:.0%}):"]
+    regressed_names = {d.name for d in regressions}
+    for d in deltas:
+        marker = "REGRESSION" if d.name in regressed_names else "ok"
+        lines.append(
+            f"  {d.name:<16} {d.baseline_median_us:>10.0f} -> "
+            f"{d.current_median_us:>10.0f} us/TTI  "
+            f"({d.change:+.1%})  {marker}")
+    if not deltas:
+        lines.append("  (no overlapping benches)")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# CLI (shared by ``repro perf`` and ``benchmarks/harness.py``)
+# ---------------------------------------------------------------------------
+
+
+def add_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--bench", action="append", default=None,
+                        metavar="NAME", choices=sorted(SUITE),
+                        help="run only this bench (repeatable); "
+                             f"available: {', '.join(sorted(SUITE))}")
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced TTIs for smoke runs (same topology)")
+    parser.add_argument("--out", default=DEFAULT_REPORT,
+                        help=f"report path (default: {DEFAULT_REPORT})")
+    parser.add_argument("--baseline", default="",
+                        help="compare against this earlier report; exit "
+                             "non-zero on a median regression beyond the "
+                             "threshold")
+    parser.add_argument("--threshold", type=float,
+                        default=DEFAULT_THRESHOLD,
+                        help="fractional regression tolerance "
+                             f"(default: {DEFAULT_THRESHOLD})")
+    parser.add_argument("--list", action="store_true", dest="list_benches",
+                        help="list available benches and exit")
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro perf",
+        description="Run the benchmark regression harness.")
+    add_arguments(parser)
+    args = parser.parse_args(argv)
+    return run_from_args(args)
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    if args.list_benches:
+        for name in SUITE:
+            print(name)
+        return 0
+    if args.threshold < 0:
+        print("threshold must be >= 0", file=sys.stderr)
+        return 2
+    doc = run_suite(args.bench, quick=args.quick, progress=print)
+    write_report(doc, args.out)
+    print(f"wrote {args.out} ({len(doc['benches'])} benches)")
+    if not args.baseline:
+        return 0
+    baseline = load_report(args.baseline)
+    deltas, regressions = compare(doc, baseline, threshold=args.threshold)
+    print(format_comparison(deltas, regressions, args.threshold))
+    if regressions:
+        print(f"{len(regressions)} bench(es) regressed beyond "
+              f"{args.threshold:.0%}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

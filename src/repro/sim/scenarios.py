@@ -24,6 +24,7 @@ from repro.core.agent import FlexRanAgent
 from repro.core.agent.connection import ConnectionConfig
 from repro.core.controller import MasterController
 from repro.core.delegation import VsfFactoryRegistry
+from repro.core.protocol.messages import ReportType
 from repro.lte.constants import SUBFRAMES_PER_FRAME
 from repro.lte.enodeb import EnodeB
 from repro.lte.mac.schedulers import Scheduler
@@ -36,6 +37,7 @@ from repro.lte.phy.channel import (
 from repro.lte.phy.cqi import cqi_to_sinr_floor
 from repro.lte.phy.tbs import capacity_mbps
 from repro.lte.ue import Ue
+from repro.net.clock import Phase
 from repro.sim.simulation import Simulation
 from repro.traffic.dash import (
     AssistedAbr,
@@ -141,6 +143,68 @@ def centralized_scheduling(*, n_enbs: int = 1, ues_per_enb: int = 10,
         all_ues.append(ues)
     return CentralizedScenario(sim=sim, enbs=enbs, agents=agents,
                                ues_per_enb=all_ues, app=app)
+
+
+# ---------------------------------------------------------------------------
+# Large-scale hot-path scenario (the bench_scale substrate)
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class ScaleScenario:
+    """A many-agent, many-UE deployment for hot-path benchmarking."""
+
+    sim: Simulation
+    enbs: List[EnodeB]
+    agents: List[FlexRanAgent]
+    ues: List[Ue]
+
+
+SCALE_CQI_CYCLE = (15, 12, 9, 7)
+"""CQI operating points cycled across the UEs of a scale cell, so the
+scheduler and TBS paths see a realistic mix instead of one cache row."""
+
+
+def large_scale(*, n_enbs: int = 32, ues_per_enb: int = 100,
+                stats_period_ttis: int = 5, load_factor: float = 0.8,
+                rtt_ms: float = 2.0, seed: int = 0) -> ScaleScenario:
+    """The scalability stress deployment (Fig. 8 pushed to its limit).
+
+    Every eNodeB runs its local scheduler over *ues_per_enb* UEs with
+    mixed CQIs and CBR downlink load, while its agent streams periodic
+    full statistics reports to the master -- so one TTI exercises every
+    hot path at once: context building, scheduling, TBS sizing, report
+    encoding/decoding and RIB application.  This is the scenario the
+    ``repro perf`` harness uses for its headline per-TTI wall-time
+    metric.
+    """
+    sim = Simulation(with_master=True)
+    enbs: List[EnodeB] = []
+    agents: List[FlexRanAgent] = []
+    ues: List[Ue] = []
+    per_ue_mbps = (load_factor * capacity_mbps(SCALE_CQI_CYCLE[1], 50)
+                   / max(1, ues_per_enb))
+    for e in range(n_enbs):
+        enb = sim.add_enb(seed=seed + e)
+        agent = sim.add_agent(enb, rtt_ms=rtt_ms)
+        for i in range(ues_per_enb):
+            cqi = SCALE_CQI_CYCLE[i % len(SCALE_CQI_CYCLE)]
+            ue = Ue(f"{e:02d}{i:04d}", FixedCqi(cqi))
+            sim.add_ue(enb, ue)
+            sim.add_downlink_traffic(enb, ue, CbrSource(per_ue_mbps,
+                                                        start_tti=20))
+            ues.append(ue)
+        enbs.append(enb)
+        agents.append(agent)
+
+    def subscribe(tti: int) -> None:
+        if tti == 2:
+            for agent in agents:
+                sim.master.northbound.request_stats(
+                    agent.agent_id, report_type=ReportType.PERIODIC,
+                    period_ttis=stats_period_ttis)
+    sim.clock.register(Phase.POST, subscribe)
+    return ScaleScenario(sim=sim, enbs=enbs, agents=agents, ues=ues)
 
 
 # ---------------------------------------------------------------------------

@@ -86,7 +86,7 @@ class EpcStub:
     def tick(self, tti: int) -> None:
         """TRAFFIC phase: generate and deliver this TTI's packets."""
         for flow in self._downlink:
-            if flow.rnti not in flow.enb.rntis():
+            if not flow.enb.has_ue(flow.rnti):
                 continue
             for size in flow.source.packets(tti):
                 flow.stats.offered_packets += 1
@@ -96,7 +96,7 @@ class EpcStub:
                 else:
                     flow.stats.dropped_bytes += size
         for flow in self._uplink:
-            if flow.rnti not in flow.enb.rntis():
+            if not flow.enb.has_ue(flow.rnti):
                 continue
             total = sum(flow.source.packets(tti))
             if total > 0:

@@ -12,6 +12,7 @@ from repro.lte.mac.schedulers import (
     ProportionalFairScheduler,
     RoundRobinScheduler,
     SlicedScheduler,
+    _greedy_fill,
     make_scheduler,
     schedule_retransmissions,
 )
@@ -227,3 +228,41 @@ def test_property_no_scheduler_oversubscribes(n_prb, queues, cqis, which):
     for a in out:
         ue = next(u for u in ues if u.rnti == a.rnti)
         assert ue.queue_bytes > 0 and ue.cqi > 0
+
+
+class TestGreedyFillMinShare:
+    """Regression: min-share must degrade evenly at small budgets.
+
+    With ``min_share_prb > budget // len(candidates)`` the old code
+    handed the full minimum share to the UEs served first and nothing
+    to the tail (budget 4, min-share 2, 4 UEs -> 2, 2, 0, 0).  The fix
+    clamps to the fair split so everyone keeps at least one PRB.
+    """
+
+    def test_small_budget_serves_every_candidate(self):
+        ues = views(4)  # saturated queues, cqi 10
+        out = _greedy_fill(ues, 4, tti=0, min_share_prb=2)
+        assert [a.n_prb for a in out] == [1, 1, 1, 1]
+        assert {a.rnti for a in out} == {u.rnti for u in ues}
+
+    def test_sufficient_budget_honours_min_share(self):
+        ues = views(4)
+        out = _greedy_fill(ues, 50, tti=0, min_share_prb=2)
+        assert all(a.n_prb >= 2 for a in out)
+        assert {a.rnti for a in out} == {u.rnti for u in ues}
+
+    @settings(max_examples=100, deadline=None)
+    @given(
+        n_ues=st.integers(min_value=1, max_value=20),
+        budget=st.integers(min_value=1, max_value=100),
+        min_share=st.integers(min_value=1, max_value=20),
+    )
+    def test_property_no_starved_tail(self, n_ues, budget, min_share):
+        ues = views(n_ues)
+        out = _greedy_fill(ues, budget, tti=0, min_share_prb=min_share)
+        assert sum(a.n_prb for a in out) <= budget
+        served = {a.rnti for a in out}
+        # Whenever the budget covers one PRB per candidate, no
+        # saturated candidate may be starved by earlier over-allocation.
+        if budget >= n_ues:
+            assert served == {u.rnti for u in ues}
