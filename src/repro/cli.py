@@ -25,6 +25,11 @@ Performance (the ``repro.perf`` regression harness):
     python -m repro perf --quick         # curated suite -> BENCH_perf.json
     python -m repro perf --baseline benchmarks/baselines/pre_optimization.json
 
+Northbound service plane (the ``repro.nb`` subsystem):
+
+    python -m repro serve                          # HTTP server, Ctrl-C to stop
+    python -m repro serve --smoke --report nb.json # scripted smoke + report
+
 ``trace`` runs a scenario with full instrumentation and writes a
 Chrome trace-event file (open in chrome://tracing or
 https://ui.perfetto.dev) that also embeds the xid-correlated
@@ -327,6 +332,135 @@ def _cmd_perf(args) -> int:
     return run_from_args(args)
 
 
+def _smoke_client(host: str, port: int, *,
+                  min_items: int, token: str = "") -> dict:
+    """The scripted northbound smoke: two streams + one policy push.
+
+    Returns a plain-data report; raises AssertionError on failure.
+    """
+    import time
+
+    from repro.core.policy import build_policy
+    from repro.nb.client import NorthboundClient
+
+    client = NorthboundClient(host, port, token=token or None)
+    deadline = time.monotonic() + 10.0
+    while True:  # agents appear in the RIB after the hello handshake
+        info = client.info()
+        if info["agents"]:
+            break
+        assert time.monotonic() < deadline, "no agent joined the RIB"
+        time.sleep(0.05)
+    agent_id = info["agents"][0]
+    tti_stream = client.stream("/v1/stream/tti?period=10")
+    event_stream = client.stream("/v1/stream/events")
+    subs = client.subscriptions()["subscriptions"]
+    assert len(subs) >= 2, f"expected 2 open subscriptions, saw {len(subs)}"
+    policy = build_policy("mac", "dl_scheduling", behavior="local_fair")
+    xid = client.send_policy(agent_id, policy)["xid"]
+    assert isinstance(xid, int) and xid > 0, f"bad policy xid: {xid!r}"
+    ticks = tti_stream.read(min_items)
+    assert len(ticks) >= min_items, (
+        f"tti stream delivered {len(ticks)}/{min_items} items")
+    tti_stream.close()
+    event_stream.close()
+    metrics = client.metrics()["metrics"]
+    fanout = {name: value for name, value in sorted(metrics.items())
+              if name.startswith("nb.")}
+    return {
+        "agents": info["agents"],
+        "policy_xid": xid,
+        "tti_items": len(ticks),
+        "last_tti": ticks[-1]["tti"],
+        "fanout_metrics": fanout,
+    }
+
+
+def _cmd_serve(args) -> int:
+    """Boot a scenario with the northbound server attached."""
+    import json
+    import threading
+    import time
+
+    from repro import obs
+    from repro.nb.auth import build_auth
+    from repro.nb.server import NorthboundServer
+    from repro.nb.service import NorthboundService
+
+    builder, default_ttis = OBS_SCENARIOS[args.scenario]
+    obs.enable(trace=False)
+    try:
+        sim = builder()
+        service = NorthboundService(sim.master)
+        service.attach()
+        server = NorthboundServer(service, host=args.host, port=args.port,
+                                  auth=build_auth(args.token or None))
+        host, port = server.start()
+        print(f"northbound server on http://{host}:{port} "
+              f"(scenario {args.scenario}); try:")
+        print(f"  curl http://{host}:{port}/v1/info")
+        print(f"  curl -N http://{host}:{port}/v1/stream/tti?period=100")
+
+        failure: list = []
+        report: dict = {}
+        smoke_thread = None
+        if args.smoke:
+            def smoke() -> None:
+                try:
+                    report.update(_smoke_client(
+                        host, port,
+                        min_items=args.smoke_items, token=args.token))
+                except BaseException as exc:  # noqa: BLE001 - report it
+                    failure.append(exc)
+            smoke_thread = threading.Thread(target=smoke, daemon=True)
+            smoke_thread.start()
+
+        ttis = args.ttis if args.ttis > 0 else (
+            default_ttis if args.smoke else 0)
+        try:
+            if ttis:
+                step = 0
+                while step < ttis and not (args.smoke and not
+                                           smoke_thread.is_alive()):
+                    sim.run(min(50, ttis - step))
+                    step += 50
+                    time.sleep(0.001)
+                # Keep ticking until the smoke client wraps up.
+                while smoke_thread is not None and smoke_thread.is_alive():
+                    sim.run(50)
+                    time.sleep(0.001)
+            else:
+                while True:  # Ctrl-C to stop
+                    sim.run(50)
+                    time.sleep(0.02)
+        except KeyboardInterrupt:
+            print("\nstopping")
+        if smoke_thread is not None:
+            smoke_thread.join(10.0)
+        server.stop()
+        service.detach()
+        if args.smoke:
+            if failure:
+                print(f"SMOKE FAILED: {failure[0]!r}")
+                return 1
+            report["scenario"] = args.scenario
+            if args.report:
+                with open(args.report, "w", encoding="utf-8") as fh:
+                    json.dump(report, fh, indent=2)
+                print(f"wrote {args.report}")
+            latency = {k: v for k, v in report["fanout_metrics"].items()
+                       if k.startswith("nb.fanout.latency_ms.")}
+            print(f"smoke OK: policy xid {report['policy_xid']}, "
+                  f"{report['tti_items']} stream items through "
+                  f"tti {report['last_tti']}")
+            for name, h in latency.items():
+                print(f"  {name}: n={h['count']} p50={h['p50']:.3f} "
+                      f"p95={h['p95']:.3f} p99={h['p99']:.3f} ms")
+        return 0
+    finally:
+        obs.disable()
+
+
 def _cmd_info() -> None:
     import repro
     from repro.core.protocol.messages import MESSAGE_TYPES
@@ -381,6 +515,26 @@ def main(argv=None) -> int:
     perf = sub.add_parser(
         "perf", help="run the benchmark regression harness")
     _add_perf_arguments(perf)
+
+    serve = sub.add_parser(
+        "serve", help="run a scenario with the northbound HTTP server")
+    serve.add_argument("--scenario", choices=sorted(OBS_SCENARIOS),
+                       default="quickstart")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (default: ephemeral, printed)")
+    serve.add_argument("--ttis", type=int, default=0,
+                       help="stop after this many TTIs (default: run "
+                            "until Ctrl-C, or the scenario default "
+                            "with --smoke)")
+    serve.add_argument("--token", default="",
+                       help="require this bearer token on every request")
+    serve.add_argument("--smoke", action="store_true",
+                       help="run the scripted smoke client and exit")
+    serve.add_argument("--smoke-items", type=int, default=20,
+                       help="stream items the smoke client must receive")
+    serve.add_argument("--report", default="",
+                       help="with --smoke: write the fan-out report here")
     args = parser.parse_args(argv)
 
     if args.command == "info":
@@ -395,6 +549,8 @@ def main(argv=None) -> int:
         return _cmd_chaos(args)
     elif args.command == "perf":
         return _cmd_perf(args)
+    elif args.command == "serve":
+        return _cmd_serve(args)
     else:
         parser.print_help()
         return 2

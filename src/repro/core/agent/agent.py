@@ -45,7 +45,7 @@ from repro.core.protocol.messages import (
     Header,
     Hello,
     PolicyReconfiguration,
-    SetConfig,
+    PrbCapConfig,
     StatsRequest,
     SubframeTrigger,
     SyncConfig,
@@ -106,7 +106,6 @@ class FlexRanAgent:
         self._hello_sent = False
         self._last_hello_tti = -(10 ** 9)
         self._xid = 0
-        self.config_store: Dict[str, str] = {}
         self.processing_time_s = 0.0
         self.messages_handled = 0
         #: Messages dropped because no handler is registered for them.
@@ -132,10 +131,10 @@ class FlexRanAgent:
             EchoRequest: self._handle_echo,
             EchoReply: self._handle_echo_reply,
             ConfigRequest: self._handle_config_request,
-            SetConfig: self._handle_set_config,
             AbsPatternConfig: self._handle_abs_pattern,
             BearerQosConfig: self._handle_bearer_qos,
             SyncConfig: self._handle_sync_config,
+            PrbCapConfig: self._handle_prb_cap,
             StatsRequest: self._handle_stats_request,
             DlMacCommand: self._handle_dl_command,
             UlMacCommand: self._handle_ul_command,
@@ -358,29 +357,9 @@ class FlexRanAgent:
     def _handle_sync_config(self, message: SyncConfig, now: int) -> None:
         self.sync_enabled = message.enabled
 
-    def _handle_set_config(self, message: SetConfig, now: int) -> None:
-        """Generic key/value configuration.
-
-        The ``abs_pattern``, ``bearer_qos`` and ``sync`` keys are
-        deprecated string encodings kept for older controllers; new
-        code sends the typed :class:`AbsPatternConfig`,
-        :class:`BearerQosConfig` and :class:`SyncConfig` messages.
-        """
-        for key, value in message.entries.items():
-            if key == "abs_pattern":
-                pattern = [int(s) for s in value.split(",") if s != ""]
-                self.api.set_abs_pattern(message.cell_id, pattern)
-            elif key == "dl_prb_cap":
-                cap = None if value in ("", "none") else int(value)
-                self.api.set_prb_cap(message.cell_id, cap)
-            elif key == "bearer_qos":
-                from repro.lte.mac.qos import parse_bearer_config
-                rnti, lcid, profile = parse_bearer_config(value)
-                self.api.configure_bearer(rnti, lcid, profile)
-            elif key == "sync":
-                self.sync_enabled = value == "on"
-            else:
-                self.config_store[key] = value
+    def _handle_prb_cap(self, message: PrbCapConfig, now: int) -> None:
+        cap = message.n_prb if message.capped else None
+        self.api.set_prb_cap(message.cell_id, cap)
 
     def _handle_stats_request(self, message: StatsRequest, now: int) -> None:
         self.reports.register(message, now)

@@ -13,10 +13,10 @@ aggregation is waste).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Tuple
 
 from repro.core.apps.base import App
-from repro.core.controller.northbound import NorthboundApi
+from repro.core.controller.northbound import NorthboundApi, StatsSubscription
 from repro.core.protocol.messages import ReportType, StatsFlags
 
 
@@ -51,20 +51,19 @@ class CarrierAggregationApp(App):
         self.release_backlog_bytes = release_backlog_bytes
         self.hold_ttis = hold_ttis
         self._stats_period = stats_period_ttis
-        self._subscribed: Set[int] = set()
+        self.subscriptions: Dict[int, StatsSubscription] = {}
         self._active: Dict[Tuple[int, int], int] = {}  # key -> scell
         self._low_since: Dict[Tuple[int, int], int] = {}
         self.decisions: List[CaDecision] = []
 
     def run(self, tti: int, nb: NorthboundApi) -> None:
         for agent in nb.rib.agents():
-            if agent.agent_id not in self._subscribed:
-                nb.request_stats(agent.agent_id,
-                                 report_type=ReportType.PERIODIC,
-                                 period_ttis=self._stats_period,
-                                 flags=int(StatsFlags.QUEUES
-                                           | StatsFlags.CQI))
-                self._subscribed.add(agent.agent_id)
+            if agent.agent_id not in self.subscriptions:
+                self.subscriptions[agent.agent_id] = nb.subscribe_stats(
+                    agent.agent_id,
+                    report_type=ReportType.PERIODIC,
+                    period_ttis=self._stats_period,
+                    flags=int(StatsFlags.QUEUES | StatsFlags.CQI))
             for node in agent.all_ues():
                 if node.stats is None:
                     continue

@@ -24,10 +24,10 @@ code.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Set
+from typing import Dict, Iterable, List, Sequence, Set
 
 from repro.core.apps.base import App
-from repro.core.controller.northbound import NorthboundApi
+from repro.core.controller.northbound import NorthboundApi, StatsSubscription
 from repro.core.delegation import VsfFactoryRegistry
 from repro.lte.constants import SUBFRAMES_PER_FRAME
 from repro.lte.mac import amc
@@ -137,6 +137,7 @@ class OptimizedEicicApp(App):
         self.reclaimed_abs = 0
         self.skipped_abs = 0
         self._configured = False
+        self.subscriptions: Dict[int, StatsSubscription] = {}
         self._inner = FairShareScheduler()
 
     def on_start(self, nb: NorthboundApi) -> None:
@@ -162,7 +163,8 @@ class OptimizedEicicApp(App):
         nb.set_abs_pattern(self.macro_agent, self.macro_cell,
                            self.abs_subframes)
         for agent_id in [self.macro_agent, *self.small_agents]:
-            nb.request_stats(agent_id, period_ttis=1)
+            self.subscriptions[agent_id] = nb.subscribe_stats(
+                agent_id, period_ttis=1)
             nb.enable_sync(agent_id, True)
         for agent_id in self.small_agents:
             nb.push_vsf(agent_id, "mac", "dl_scheduling", "abs_only_fair",

@@ -20,7 +20,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Set, Tuple
 
 from repro.core.apps.base import App
-from repro.core.controller.northbound import NorthboundApi
+from repro.core.controller.northbound import NorthboundApi, StatsSubscription
 from repro.core.protocol.messages import ReportType, StatsFlags
 
 
@@ -53,7 +53,7 @@ class DrxEnergyApp(App):
         self.on_duration_ttis = on_duration_ttis
         self.inactivity_ttis = inactivity_ttis
         self._stats_period = stats_period_ttis
-        self._subscribed: Set[int] = set()
+        self.subscriptions: Dict[int, StatsSubscription] = {}
         #: (agent, rnti) -> (last rx_bytes_total, tti it last changed)
         self._last_progress: Dict[Tuple[int, int], Tuple[int, int]] = {}
         self._drx_enabled: Set[Tuple[int, int]] = set()
@@ -61,13 +61,12 @@ class DrxEnergyApp(App):
 
     def run(self, tti: int, nb: NorthboundApi) -> None:
         for agent in nb.rib.agents():
-            if agent.agent_id not in self._subscribed:
-                nb.request_stats(agent.agent_id,
-                                 report_type=ReportType.PERIODIC,
-                                 period_ttis=self._stats_period,
-                                 flags=int(StatsFlags.QUEUES
-                                           | StatsFlags.PDCP))
-                self._subscribed.add(agent.agent_id)
+            if agent.agent_id not in self.subscriptions:
+                self.subscriptions[agent.agent_id] = nb.subscribe_stats(
+                    agent.agent_id,
+                    report_type=ReportType.PERIODIC,
+                    period_ttis=self._stats_period,
+                    flags=int(StatsFlags.QUEUES | StatsFlags.PDCP))
             for node in agent.all_ues():
                 if node.stats is None:
                     continue

@@ -14,7 +14,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.apps.base import App
-from repro.core.controller.northbound import NorthboundApi
+from repro.core.controller.northbound import NorthboundApi, StatsSubscription
 from repro.core.protocol.messages import ReportType, StatsFlags
 from repro.traffic.dash import AssistedAbr
 
@@ -60,19 +60,19 @@ class MecDashApp(App):
         self._stats_period = stats_period_ttis
         self.ewma_alpha = ewma_alpha
         self._cqi_ewma: Dict[Tuple[int, int], float] = {}
-        self._subscribed: set = set()
+        self.subscriptions: Dict[int, StatsSubscription] = {}
         self.targets_sent: List[Tuple[int, int, float]] = []
 
     def run(self, tti: int, nb: NorthboundApi) -> None:
         for binding in self.bindings:
-            if binding.agent_id not in self._subscribed:
+            if binding.agent_id not in self.subscriptions:
                 if binding.agent_id not in nb.agent_ids():
                     continue
-                nb.request_stats(binding.agent_id,
-                                 report_type=ReportType.PERIODIC,
-                                 period_ttis=self._stats_period,
-                                 flags=int(StatsFlags.CQI | StatsFlags.QUEUES))
-                self._subscribed.add(binding.agent_id)
+                self.subscriptions[binding.agent_id] = nb.subscribe_stats(
+                    binding.agent_id,
+                    report_type=ReportType.PERIODIC,
+                    period_ttis=self._stats_period,
+                    flags=int(StatsFlags.CQI | StatsFlags.QUEUES))
             agent = nb.rib.agent(binding.agent_id)
             node = None
             for candidate in agent.all_ues():

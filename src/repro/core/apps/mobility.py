@@ -16,7 +16,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.apps.base import App
-from repro.core.controller.northbound import NorthboundApi
+from repro.core.controller.northbound import NorthboundApi, StatsSubscription
 from repro.core.protocol.messages import ReportType, StatsFlags
 
 
@@ -50,18 +50,18 @@ class MobilityManagerApp(App):
         self.cell_to_agent = dict(cell_to_agent or {})
         self.decisions: List[HandoverDecision] = []
         self._candidate_since: Dict[Tuple[int, int], int] = {}
-        self._subscribed: set = set()
+        self.subscriptions: Dict[int, StatsSubscription] = {}
 
     def run(self, tti: int, nb: NorthboundApi) -> None:
         loads = self._cell_loads(nb) if self.load_aware else {}
         for agent in nb.rib.agents():
-            if agent.agent_id not in self._subscribed:
-                nb.request_stats(agent.agent_id,
-                                 report_type=ReportType.PERIODIC,
-                                 period_ttis=self.period_ttis,
-                                 flags=int(StatsFlags.CQI | StatsFlags.QUEUES
-                                           | StatsFlags.CELL))
-                self._subscribed.add(agent.agent_id)
+            if agent.agent_id not in self.subscriptions:
+                self.subscriptions[agent.agent_id] = nb.subscribe_stats(
+                    agent.agent_id,
+                    report_type=ReportType.PERIODIC,
+                    period_ttis=self.period_ttis,
+                    flags=int(StatsFlags.CQI | StatsFlags.QUEUES
+                              | StatsFlags.CELL))
             for node in agent.all_ues():
                 if node.stats is None or not node.stats.neighbor_cqi:
                     continue

@@ -9,10 +9,10 @@ also what several benchmark harnesses read out.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.core.apps.base import App
-from repro.core.controller.northbound import NorthboundApi
+from repro.core.controller.northbound import NorthboundApi, StatsSubscription
 from repro.core.protocol.messages import ReportType, StatsFlags
 
 
@@ -39,18 +39,19 @@ class MonitoringApp(App):
             raise ValueError(f"period must be positive, got {period_ttis}")
         self.period_ttis = period_ttis
         self._stats_period = stats_period_ttis
-        self._subscribed: Set[int] = set()
+        #: agent_id -> live stats subscription handle.
+        self.subscriptions: Dict[int, StatsSubscription] = {}
         #: (agent_id, rnti) -> samples
         self.series: Dict[Tuple[int, int], List[UeSample]] = {}
 
     def run(self, tti: int, nb: NorthboundApi) -> None:
         for agent in nb.rib.agents():
-            if agent.agent_id not in self._subscribed:
-                nb.request_stats(agent.agent_id,
-                                 report_type=ReportType.PERIODIC,
-                                 period_ttis=self._stats_period,
-                                 flags=int(StatsFlags.FULL))
-                self._subscribed.add(agent.agent_id)
+            if agent.agent_id not in self.subscriptions:
+                self.subscriptions[agent.agent_id] = nb.subscribe_stats(
+                    agent.agent_id,
+                    report_type=ReportType.PERIODIC,
+                    period_ttis=self._stats_period,
+                    flags=int(StatsFlags.FULL))
             for node in agent.all_ues():
                 if node.stats is None:
                     continue

@@ -27,7 +27,7 @@ from collections import deque
 from typing import Deque, Dict, List, Optional, Tuple
 
 from repro.core.apps.base import App
-from repro.core.controller.northbound import NorthboundApi
+from repro.core.controller.northbound import NorthboundApi, StatsSubscription
 from repro.core.controller.rib import AgentLiveness, AgentNode, CellNode
 from repro.core.protocol.messages import ReportType, StatsFlags
 from repro.lte.mac.dci import SchedulingContext, UeView, UlGrant
@@ -73,8 +73,8 @@ class RemoteSchedulerApp(App):
         self.schedule_uplink = schedule_uplink
         self._only_agents = set(agents) if agents is not None else None
         self._inflight_ttl_margin = inflight_ttl_margin
-        #: agent_id -> TTI of the (latest) subscription request.
-        self._subscribed: Dict[int, int] = {}
+        #: agent_id -> (subscription handle, TTI of last (re)assert).
+        self._subscribed: Dict[int, Tuple[StatsSubscription, int]] = {}
         # rnti -> deque of (expire_tti, bytes) decisions in flight.
         self._inflight: Dict[int, Deque[Tuple[int, int]]] = {}
         self.decisions_sent = 0
@@ -84,17 +84,23 @@ class RemoteSchedulerApp(App):
     def _ensure_subscribed(self, agent: AgentNode, nb: NorthboundApi,
                            tti: int) -> None:
         agent_id = agent.agent_id
-        subscribed_tti = self._subscribed.get(agent_id)
-        if subscribed_tti is not None:
+        entry = self._subscribed.get(agent_id)
+        if entry is not None:
+            subscription, asserted_tti = entry
             freshest = max((c.stats_tti for c in agent.cells.values()),
                            default=-1)
-            if max(subscribed_tti, freshest) > tti - RESUBSCRIBE_AFTER_TTIS:
+            if max(asserted_tti, freshest) > tti - RESUBSCRIBE_AFTER_TTIS:
                 return
             # No report within the grace window: the request probably
-            # never reached the agent (lossy channel) -- retry.
-        nb.request_stats(agent_id, report_type=ReportType.PERIODIC,
-                         period_ttis=self.stats_period_ttis,
-                         flags=int(StatsFlags.FULL))
+            # never reached the agent (lossy channel).  Renewing under
+            # the same xid is idempotent -- the agent overwrites the
+            # registration in place if the original did land.
+            subscription.renew()
+        else:
+            subscription = nb.subscribe_stats(
+                agent_id, report_type=ReportType.PERIODIC,
+                period_ttis=self.stats_period_ttis,
+                flags=int(StatsFlags.FULL))
         nb.enable_sync(agent_id, True)
         # Take over scheduling: activate the agent's remote stub so the
         # data plane applies this app's decisions instead of a local VSF.
@@ -103,7 +109,7 @@ class RemoteSchedulerApp(App):
         if self.schedule_uplink:
             nb.reconfigure_vsf(agent_id, "mac", "ul_scheduling",
                                behavior="remote_stub_ul")
-        self._subscribed[agent_id] = tti
+        self._subscribed[agent_id] = (subscription, tti)
 
     # -- per-TTI decision ---------------------------------------------------
 

@@ -6,8 +6,8 @@ operation could easily be implemented as an application on top of
 FlexRAN."  This app does exactly that: an *incumbent* (e.g. a radar or
 PMSE user) owns part of the band; while the incumbent is active, the
 MNO must vacate the shared portion.  The app tracks the incumbent's
-activity calendar and pushes ``dl_prb_cap`` configuration commands to
-the affected agents, shrinking and restoring the usable carrier at
+activity calendar and pushes typed ``PrbCapConfig`` commands to the
+affected agents, shrinking and restoring the usable carrier at
 runtime -- no eNodeB restart, transparently to the UEs.
 """
 
@@ -91,9 +91,7 @@ class LsaSpectrumApp(App):
                 continue
             if self._commanded.get(key, "unset") == wanted:
                 continue
-            value = "none" if wanted is None else str(wanted)
-            nb.set_config(agreement.agent_id, agreement.cell_id,
-                          {"dl_prb_cap": value})
+            nb.set_prb_cap(agreement.agent_id, agreement.cell_id, wanted)
             self._commanded[key] = wanted
             if wanted is None:
                 self.restore_commands += 1

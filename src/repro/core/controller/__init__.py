@@ -6,7 +6,7 @@ from repro.core.controller.conflicts import (
 )
 from repro.core.controller.events import EventNotificationService
 from repro.core.controller.master import MasterController
-from repro.core.controller.northbound import NorthboundApi
+from repro.core.controller.northbound import NorthboundApi, StatsSubscription
 from repro.core.controller.registry import AppState, RegistryService
 from repro.core.controller.rib import AgentNode, CellNode, Rib, UeNode
 from repro.core.controller.rib_updater import RibUpdater
@@ -32,6 +32,7 @@ __all__ = [
     "EventNotificationService",
     "MasterController",
     "NorthboundApi",
+    "StatsSubscription",
     "AppState",
     "RegistryService",
     "AgentNode",

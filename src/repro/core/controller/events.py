@@ -9,11 +9,17 @@ happens inside the application slot of the TTI cycle.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+import logging
+from typing import TYPE_CHECKING, Callable, List, Optional
 
 from repro.core.controller.registry import RegistryService
 from repro.core.survive.supervisor import AppSupervisor
 from repro.core.protocol.messages import EventNotification, EventType
+
+logger = logging.getLogger(__name__)
+
+#: An event tap: called once per dispatched event, before app delivery.
+EventTap = Callable[[int, EventNotification], None]
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.controller.northbound import NorthboundApi
@@ -34,9 +40,31 @@ class EventNotificationService:
         self._registry = registry
         self.supervisor = supervisor
         self._queue: List[EventNotification] = []
+        self._taps: List[EventTap] = []
         self.delivered = 0
         self.dropped_no_subscriber = 0
         self.dropped_quarantined = 0
+
+    # -- taps -------------------------------------------------------------
+
+    def add_tap(self, tap: EventTap) -> EventTap:
+        """Register an observer called for *every* dispatched event.
+
+        Taps see events regardless of app subscriptions -- this is how
+        the northbound service plane mirrors the event stream to
+        external subscribers without registering a pseudo-app.  A tap
+        must be cheap and must not raise (failures are contained and
+        logged, and do not disturb app delivery).  Returns *tap* so the
+        caller can keep it for :meth:`remove_tap`.
+        """
+        self._taps.append(tap)
+        return tap
+
+    def remove_tap(self, tap: EventTap) -> None:
+        try:
+            self._taps.remove(tap)
+        except ValueError:
+            pass
 
     def enqueue(self, events: List[EventNotification]) -> None:
         """Queue events gathered during the RIB-update slot."""
@@ -50,6 +78,14 @@ class EventNotificationService:
         events, self._queue = self._queue, []
         sup = self.supervisor
         count = 0
+        if self._taps:
+            for event in events:
+                for tap in tuple(self._taps):
+                    try:
+                        tap(tti, event)
+                    except Exception:  # noqa: BLE001 - tap containment
+                        logger.exception("event tap failed; removing it")
+                        self.remove_tap(tap)
         for event in events:
             try:
                 kind = EventType(event.event_type)

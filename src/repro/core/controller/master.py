@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import logging
 import time
-from typing import TYPE_CHECKING, Dict, List, Optional
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro import obs as _obs
 from repro.core.apps.base import App
@@ -134,6 +134,7 @@ class MasterController:
         self.dead_gc_ttis = dead_gc_ttis
         self._last_echo_sent: Dict[int, int] = {}
         self._last_config_request: Dict[int, int] = {}
+        self._cycle_hooks: List[Callable[[int], None]] = []
         self.agents_declared_dead = 0
         self.agent_reattaches = 0
         self.agents_garbage_collected = 0
@@ -163,6 +164,26 @@ class MasterController:
         self._xid += 1
         return self._xid
 
+    def add_cycle_hook(self, hook: Callable[[int], None]
+                       ) -> Callable[[int], None]:
+        """Register a callable invoked at the end of every :meth:`tick`.
+
+        Hooks run on the controller thread *after* the Task Manager
+        cycle, so they see the RIB as updated this TTI and may issue
+        northbound commands under the single-writer discipline.  The
+        northbound service plane uses this to pump externally-submitted
+        commands and sample RIB streams.  A hook that raises is removed
+        (fault containment).  Returns *hook* for later removal.
+        """
+        self._cycle_hooks.append(hook)
+        return hook
+
+    def remove_cycle_hook(self, hook: Callable[[int], None]) -> None:
+        try:
+            self._cycle_hooks.remove(hook)
+        except ValueError:
+            pass
+
     def send(self, agent_id: int, message: FlexRanMessage) -> None:
         """Transmit one protocol message to an agent."""
         try:
@@ -187,6 +208,13 @@ class MasterController:
                                     self.northbound)
         if self.checkpoints is not None and now > 0:
             self.checkpoints.maybe_take(self, now)
+        if self._cycle_hooks:
+            for hook in tuple(self._cycle_hooks):
+                try:
+                    hook(now)
+                except Exception:  # noqa: BLE001 - hook containment
+                    logger.exception("cycle hook failed; removing it")
+                    self.remove_cycle_hook(hook)
         self.processing_time_s += time.perf_counter() - start
 
     def _drain_agents(self) -> None:

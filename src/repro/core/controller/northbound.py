@@ -6,6 +6,20 @@ agent control modules" (Section 4.4).  Crucially, apps never mutate
 the RIB: every state change travels as a command to an agent and
 re-enters the RIB through statistics and events -- the indirection of
 the paper's Fig. 5 that keeps the RIB single-writer.
+
+Two API invariants hold across every command method:
+
+* **Every command returns its xid** (or ``None`` when the conflict
+  resolver denied it outright), so callers can correlate a command with
+  its downstream effects through the obs xid correlator
+  (docs/OBSERVABILITY.md) without re-deriving transaction ids.
+* **Statistics subscriptions are first-class handles.**
+  :meth:`NorthboundApi.subscribe_stats` returns a
+  :class:`StatsSubscription` that owns its xid and knows how to
+  ``renew()`` (same xid -- the agent's ReportsManager overwrites in
+  place) and ``cancel()``.  The raw :meth:`request_stats` /
+  :meth:`cancel_stats` pair remains as the low-level primitive the
+  handle is built on.
 """
 
 from __future__ import annotations
@@ -30,8 +44,8 @@ from repro.core.protocol.messages import (
     HandoverCommand,
     Header,
     PolicyReconfiguration,
+    PrbCapConfig,
     ReportType,
-    SetConfig,
     StatsFlags,
     StatsRequest,
     SyncConfig,
@@ -59,6 +73,49 @@ class CommandCounters:
     stats_requests: int = 0
     config_ops: int = 0
     handovers: int = 0
+
+
+@dataclass
+class StatsSubscription:
+    """A live statistics subscription: the app-facing handle.
+
+    Wraps one agent-side ReportsManager registration.  The handle owns
+    the subscription's xid for its whole lifetime: ``renew()`` re-sends
+    the request under the *same* xid (the agent overwrites the existing
+    registration in place, which makes renewal idempotent and safe over
+    a lossy control channel), and ``cancel()`` retires it.  Stats
+    replies carry this xid in their header, so matching replies to the
+    subscription that caused them is a dictionary lookup.
+    """
+
+    api: "NorthboundApi"
+    agent_id: int
+    xid: int
+    report_type: "ReportType"
+    period_ttis: int
+    flags: int
+    active: bool = True
+
+    def renew(self) -> int:
+        """Re-assert the subscription (e.g. after a master failover or
+        a long silence on a lossy link); returns the xid."""
+        self.api._master.send(self.agent_id, StatsRequest(
+            header=Header(xid=self.xid, tti=self.api.now),
+            report_type=int(self.report_type),
+            period_ttis=self.period_ttis, flags=self.flags))
+        self.api.counters.stats_requests += 1
+        self.active = True
+        return self.xid
+
+    def cancel(self) -> int:
+        """Stop the agent's reporting; returns the xid for correlation.
+
+        Safe to call twice: the second call is a no-op.
+        """
+        if self.active:
+            self.api.cancel_stats(self.agent_id, self.xid)
+            self.active = False
+        return self.xid
 
 
 class NorthboundApi:
@@ -106,8 +163,12 @@ class NorthboundApi:
 
     def send_dl_command(self, agent_id: int, cell_id: int, target_tti: int,
                         assignments: Sequence[Union[DlAssignment, DciSpec]]
-                        ) -> None:
-        """Push one TTI's centralized scheduling decision to an agent."""
+                        ) -> Optional[int]:
+        """Push one TTI's centralized scheduling decision to an agent.
+
+        Returns the command's xid, or ``None`` when the conflict
+        resolver denied the command (nothing was sent).
+        """
         dcis = [a if isinstance(a, DciSpec)
                 else DciSpec(rnti=a.rnti, n_prb=a.n_prb, cqi_used=a.cqi_used)
                 for a in assignments]
@@ -121,12 +182,14 @@ class NorthboundApi:
                 "agent %d cell %d target %d (priority %d)",
                 agent_id, cell_id, target_tti,
                 self._current_app_priority)
-            return
+            return None
+        header = self._header()
         self._master.send(agent_id, DlMacCommand(
-            header=self._header(), cell_id=cell_id,
+            header=header, cell_id=cell_id,
             target_tti=target_tti, assignments=decision))
         self.counters.dl_commands += 1
         self.counters.dcis += len(decision)
+        return header.xid
 
     def _cell_prb_limit(self, agent_id: int, cell_id: int, *,
                         direction: str = "dl") -> Optional[int]:
@@ -141,12 +204,13 @@ class NorthboundApi:
 
     def send_ul_command(self, agent_id: int, cell_id: int, target_tti: int,
                         grants: Sequence[Union[DlAssignment, DciSpec]]
-                        ) -> None:
+                        ) -> Optional[int]:
         """Push one TTI's centralized uplink-grant decision.
 
         Symmetric with :meth:`send_dl_command`: the command passes
         through conflict admission (in the uplink namespace, against
         the cell's uplink PRB budget) before it is transmitted.
+        Returns the xid, or ``None`` when the command was denied.
         """
         specs = [g if isinstance(g, DciSpec)
                  else DciSpec(rnti=g.rnti, n_prb=g.n_prb,
@@ -164,42 +228,52 @@ class NorthboundApi:
                 "for agent %d cell %d target %d (priority %d)",
                 agent_id, cell_id, target_tti,
                 self._current_app_priority)
-            return
+            return None
+        header = self._header()
         self._master.send(agent_id, UlMacCommand(
-            header=self._header(), cell_id=cell_id,
+            header=header, cell_id=cell_id,
             target_tti=target_tti, grants=decision))
         self.counters.ul_commands += 1
         self.counters.dcis += len(decision)
+        return header.xid
 
-    def send_policy(self, agent_id: int, yaml_text: str) -> None:
+    def send_policy(self, agent_id: int, yaml_text: str) -> int:
         """Send a raw policy reconfiguration document (Fig. 3)."""
+        header = self._header()
         self._master.send(agent_id, PolicyReconfiguration(
-            header=self._header(), text=yaml_text))
+            header=header, text=yaml_text))
         self.counters.policies += 1
+        return header.xid
 
     def reconfigure_vsf(self, agent_id: int, module: str, vsf: str, *,
                         behavior: Optional[str] = None,
-                        parameters: Optional[Dict[str, Any]] = None) -> None:
+                        parameters: Optional[Dict[str, Any]] = None) -> int:
         """Convenience wrapper building a single-VSF policy document."""
-        self.send_policy(agent_id, build_policy(
+        return self.send_policy(agent_id, build_policy(
             module, vsf, behavior=behavior, parameters=parameters))
 
     def push_vsf(self, agent_id: int, module: str, operation: str,
                  name: str, factory: str,
                  params: Optional[Dict[str, Any]] = None, *,
-                 pad_to: Optional[int] = None) -> None:
+                 pad_to: Optional[int] = None) -> int:
         """VSF updation: push new code into an agent's VSF cache."""
         kwargs = {} if pad_to is None else {"pad_to": pad_to}
+        header = self._header()
         self._master.send(agent_id, VsfUpdate(
-            header=self._header(), module=module, operation=operation,
+            header=header, module=module, operation=operation,
             name=name, blob=pack_vsf(factory, params, **kwargs)))
         self.counters.vsf_updates += 1
+        return header.xid
 
     def request_stats(self, agent_id: int, *,
                       report_type: ReportType = ReportType.PERIODIC,
                       period_ttis: int = 1,
                       flags: int = int(StatsFlags.FULL)) -> int:
-        """Subscribe to agent statistics; returns the subscription xid."""
+        """Subscribe to agent statistics; returns the subscription xid.
+
+        Low-level primitive: most apps want :meth:`subscribe_stats`,
+        which wraps the xid in a :class:`StatsSubscription` handle.
+        """
         header = self._header()
         self._master.send(agent_id, StatsRequest(
             header=header, report_type=int(report_type),
@@ -207,72 +281,113 @@ class NorthboundApi:
         self.counters.stats_requests += 1
         return header.xid
 
-    def cancel_stats(self, agent_id: int, xid: int) -> None:
+    def subscribe_stats(self, agent_id: int, *,
+                        report_type: ReportType = ReportType.PERIODIC,
+                        period_ttis: int = 1,
+                        flags: int = int(StatsFlags.FULL)
+                        ) -> StatsSubscription:
+        """Subscribe to agent statistics; returns a first-class handle.
+
+        The returned :class:`StatsSubscription` carries the xid and can
+        ``renew()`` (idempotent re-assert under the same xid) and
+        ``cancel()`` itself.
+        """
+        xid = self.request_stats(agent_id, report_type=report_type,
+                                 period_ttis=period_ttis, flags=flags)
+        return StatsSubscription(api=self, agent_id=agent_id, xid=xid,
+                                 report_type=report_type,
+                                 period_ttis=period_ttis, flags=flags)
+
+    def cancel_stats(self, agent_id: int, xid: int) -> int:
+        """Cancel the stats subscription identified by *xid*."""
         self._master.send(agent_id, StatsRequest(
-            header=Header(xid=xid), report_type=int(ReportType.CANCEL)))
+            header=Header(xid=xid, tti=self._master.now),
+            report_type=int(ReportType.CANCEL)))
+        return xid
 
-    def request_config(self, agent_id: int, scope: str = "enb") -> None:
+    def request_config(self, agent_id: int, scope: str = "enb") -> int:
+        header = self._header()
         self._master.send(agent_id, ConfigRequest(
-            header=self._header(), scope=scope))
+            header=header, scope=scope))
         self.counters.config_ops += 1
+        return header.xid
 
-    def set_config(self, agent_id: int, cell_id: int,
-                   entries: Dict[str, str]) -> None:
-        self._master.send(agent_id, SetConfig(
-            header=self._header(), cell_id=cell_id, entries=dict(entries)))
+    def set_prb_cap(self, agent_id: int, cell_id: int,
+                    cap: Optional[int]) -> int:
+        """Cap a cell's usable downlink PRBs (``None`` restores the full
+        carrier) -- the LSA spectrum-sharing knob of Section 7.1."""
+        header = self._header()
+        self._master.send(agent_id, PrbCapConfig(
+            header=header, cell_id=cell_id,
+            capped=cap is not None, n_prb=cap or 0))
         self.counters.config_ops += 1
+        return header.xid
 
     def set_abs_pattern(self, agent_id: int, cell_id: int,
-                        subframes: Sequence[int]) -> None:
+                        subframes: Sequence[int]) -> int:
         """Install an eICIC Almost-Blank Subframe pattern on a cell."""
+        header = self._header()
         self._master.send(agent_id, AbsPatternConfig(
-            header=self._header(), cell_id=cell_id,
+            header=header, cell_id=cell_id,
             subframes=list(subframes)))
         self.counters.config_ops += 1
+        return header.xid
 
     def set_bearer_qos(self, agent_id: int, cell_id: int, rnti: int,
                        lcid: int, qci: int, *,
-                       gbr_mbps: Optional[float] = None) -> None:
+                       gbr_mbps: Optional[float] = None) -> int:
         """Provision a bearer's QoS profile on an agent."""
         gbr_kbps = 0 if gbr_mbps is None else int(round(gbr_mbps * 1000))
+        header = self._header()
         self._master.send(agent_id, BearerQosConfig(
-            header=self._header(), rnti=rnti, lcid=lcid, qci=qci,
+            header=header, rnti=rnti, lcid=lcid, qci=qci,
             gbr_kbps=gbr_kbps))
         self.counters.config_ops += 1
+        return header.xid
 
-    def enable_sync(self, agent_id: int, enabled: bool = True) -> None:
+    def enable_sync(self, agent_id: int, enabled: bool = True) -> int:
         """Turn per-TTI subframe synchronization on or off at an agent."""
+        header = self._header()
         self._master.send(agent_id, SyncConfig(
-            header=self._header(), enabled=enabled))
+            header=header, enabled=enabled))
         self.counters.config_ops += 1
+        return header.xid
 
     def send_drx(self, agent_id: int, rnti: int, *,
                  cycle_ttis: int = 0, on_duration_ttis: int = 0,
-                 inactivity_ttis: int = 0) -> None:
+                 inactivity_ttis: int = 0) -> int:
         """Push a DRX command (cycle 0 disables DRX for the UE)."""
+        header = self._header()
         self._master.send(agent_id, DrxCommand(
-            header=self._header(), rnti=rnti, cycle_ttis=cycle_ttis,
+            header=header, rnti=rnti, cycle_ttis=cycle_ttis,
             on_duration_ttis=on_duration_ttis,
             inactivity_ttis=inactivity_ttis))
         self.counters.config_ops += 1
+        return header.xid
 
     def send_scell(self, agent_id: int, rnti: int, scell_id: int,
-                   activate: bool) -> None:
+                   activate: bool) -> int:
         """(De)activate a secondary component carrier for a UE."""
+        header = self._header()
         self._master.send(agent_id, CaCommand(
-            header=self._header(), rnti=rnti, scell_id=scell_id,
+            header=header, rnti=rnti, scell_id=scell_id,
             activate=activate))
         self.counters.config_ops += 1
+        return header.xid
 
     def send_handover(self, agent_id: int, rnti: int, source_cell: int,
-                      target_cell: int) -> None:
+                      target_cell: int) -> int:
+        header = self._header()
         self._master.send(agent_id, HandoverCommand(
-            header=self._header(), rnti=rnti, source_cell=source_cell,
+            header=header, rnti=rnti, source_cell=source_cell,
             target_cell=target_cell))
         self.counters.handovers += 1
+        return header.xid
 
-    def ping(self, agent_id: int) -> None:
-        self._master.send(agent_id, EchoRequest(header=self._header()))
+    def ping(self, agent_id: int) -> int:
+        header = self._header()
+        self._master.send(agent_id, EchoRequest(header=header))
+        return header.xid
 
     def _header(self) -> Header:
         return Header(xid=self._master.next_xid(), tti=self._master.now)

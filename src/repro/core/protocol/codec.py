@@ -16,8 +16,17 @@ on every TTI.
 
 from __future__ import annotations
 
-from repro.core.protocol.errors import DecodeError, UnknownMessageType
-from repro.core.protocol.messages import MESSAGE_TYPES, FlexRanMessage, Header
+from repro.core.protocol.errors import (
+    DecodeError,
+    RetiredMessageType,
+    UnknownMessageType,
+)
+from repro.core.protocol.messages import (
+    MESSAGE_TYPES,
+    RETIRED_MESSAGE_TYPES,
+    FlexRanMessage,
+    Header,
+)
 from repro.core.protocol.wire import CountingWriter, Reader, Writer
 
 # Scratch buffers reused across calls: encode runs on every message of
@@ -47,6 +56,12 @@ def decode(frame: bytes) -> FlexRanMessage:
     try:
         cls = MESSAGE_TYPES[msg_type]
     except KeyError:
+        retired = RETIRED_MESSAGE_TYPES.get(msg_type)
+        if retired is not None:
+            raise RetiredMessageType(
+                f"message type {msg_type} ({retired}) was removed from "
+                f"this protocol; the sender speaks a deprecated dialect "
+                f"and must be upgraded") from None
         raise UnknownMessageType(f"unknown message type {msg_type}") from None
     header = Header.decode(r)
     message = cls.decode_payload(r, header)

@@ -17,3 +17,13 @@ class EncodeError(ProtocolError):
 
 class UnknownMessageType(DecodeError):
     """The buffer announces a message type this peer does not know."""
+
+
+class RetiredMessageType(DecodeError):
+    """The buffer announces a message type this protocol has removed.
+
+    Distinct from :class:`UnknownMessageType` so an operator can tell
+    "peer is newer than me" apart from "peer is older than me": a
+    retired type means the sender still speaks a deprecated dialect
+    (e.g. the string-keyed ``SetConfig``) and must be upgraded.
+    """

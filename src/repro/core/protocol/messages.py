@@ -225,25 +225,6 @@ class ConfigReply(FlexRanMessage):
 
 
 @dataclass
-class SetConfig(FlexRanMessage):
-    """Synchronous configuration write (e.g. install an ABS pattern)."""
-
-    MSG_TYPE: ClassVar[int] = 6
-    CATEGORY: ClassVar[str] = Category.COMMANDS
-
-    cell_id: int = 0
-    entries: Dict[str, str] = field(default_factory=dict)
-
-    def encode_payload(self, w: Writer) -> None:
-        w.varint(self.cell_id)
-        w.str_map(self.entries)
-
-    @classmethod
-    def decode_payload(cls, r: Reader, header: Header) -> "SetConfig":
-        return cls(header=header, cell_id=r.varint(), entries=r.str_map())
-
-
-@dataclass
 class StatsRequest(FlexRanMessage):
     """Asynchronous statistics subscription (one-off/periodic/triggered)."""
 
@@ -623,11 +604,12 @@ class CaCommand(FlexRanMessage):
 
 # -- typed configuration commands ---------------------------------------
 #
-# These replace the stringly-typed SetConfig side-channels (comma-joined
+# These replaced the stringly-typed SetConfig side-channels (comma-joined
 # ABS patterns, "rnti:lcid:qci:gbr" packed strings, "on"/"off" flags):
 # each configuration intent is its own message with typed fields, so
 # malformed values fail at encode time rather than deep in an agent
-# handler.  SetConfig remains for free-form/forward-compatible keys.
+# handler.  SetConfig itself is gone; its wire id lives in
+# RETIRED_MESSAGE_TYPES below so stale frames fail loudly.
 
 
 @dataclass
@@ -693,12 +675,51 @@ class SyncConfig(FlexRanMessage):
         return cls(header=header, enabled=bool(r.byte()))
 
 
+@dataclass
+class PrbCapConfig(FlexRanMessage):
+    """Cap (or restore) a cell's usable downlink carrier width.
+
+    The typed replacement for the last string-keyed ``SetConfig`` use
+    (``dl_prb_cap``, the LSA spectrum knob): ``capped == False``
+    restores the full carrier; otherwise ``n_prb`` PRBs stay usable.
+    ``n_prb == 0`` with ``capped`` set fully vacates the shared band.
+    """
+
+    MSG_TYPE: ClassVar[int] = 21
+    CATEGORY: ClassVar[str] = Category.COMMANDS
+
+    cell_id: int = 0
+    capped: bool = False
+    n_prb: int = 0
+
+    def encode_payload(self, w: Writer) -> None:
+        w.varint(self.cell_id).byte(1 if self.capped else 0)
+        w.varint(self.n_prb)
+
+    @classmethod
+    def decode_payload(cls, r: Reader, header: Header) -> "PrbCapConfig":
+        return cls(header=header, cell_id=r.varint(),
+                   capped=bool(r.byte()), n_prb=r.varint())
+
+
 MESSAGE_TYPES = {
     cls.MSG_TYPE: cls for cls in (
-        Hello, EchoRequest, EchoReply, ConfigRequest, ConfigReply, SetConfig,
+        Hello, EchoRequest, EchoReply, ConfigRequest, ConfigReply,
         StatsRequest, StatsReply, SubframeTrigger, EventNotification,
         DlMacCommand, HandoverCommand, VsfUpdate, PolicyReconfiguration,
         DrxCommand, CaCommand, UlMacCommand, AbsPatternConfig,
-        BearerQosConfig, SyncConfig)
+        BearerQosConfig, SyncConfig, PrbCapConfig)
 }
 """Wire discriminator -> message class registry."""
+
+RETIRED_MESSAGE_TYPES = {
+    6: "SetConfig",
+}
+"""Wire discriminators this protocol used to assign and has removed.
+
+Decoding one of these raises
+:class:`~repro.core.protocol.errors.RetiredMessageType` naming the old
+message, so a frame from a pre-removal controller fails with a clear
+upgrade hint instead of a generic unknown-type error.  The ids are
+never reassigned.
+"""

@@ -1,0 +1,44 @@
+"""Authentication stub for the northbound server.
+
+Real deployments would terminate TLS and verify app identities before
+letting third-party controllers subscribe (the paper's Section 4.4
+apps are deployed *by* the operator; an open northbound needs more).
+The platform ships a deliberately small seam: an :class:`AuthPolicy`
+checked once per request, with a permissive default and a shared-token
+implementation good enough for CI and local experiments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+
+class AuthPolicy:
+    """Decides whether a request may proceed.  Default: allow all."""
+
+    def authorize(self, method: str, path: str,
+                  headers: Dict[str, str]) -> bool:
+        return True
+
+    def challenge(self) -> str:
+        """WWW-Authenticate value sent with a 401."""
+        return "Bearer"
+
+
+class TokenAuth(AuthPolicy):
+    """Shared bearer token: ``Authorization: Bearer <token>``."""
+
+    def __init__(self, token: str) -> None:
+        if not token:
+            raise ValueError("token must be non-empty")
+        self._token = token
+
+    def authorize(self, method: str, path: str,
+                  headers: Dict[str, str]) -> bool:
+        value = headers.get("authorization", "")
+        return value == f"Bearer {self._token}"
+
+
+def build_auth(token: Optional[str]) -> AuthPolicy:
+    """The CLI's auth factory: token set -> TokenAuth, else allow-all."""
+    return TokenAuth(token) if token else AuthPolicy()

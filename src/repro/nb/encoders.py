@@ -1,0 +1,135 @@
+"""JSON encoders and stream framings for the northbound plane.
+
+One canonical JSON payload per item, framed two ways:
+
+* **JSONL** (``application/x-ndjson``): one compact JSON object per
+  line.  The machine-friendly default.
+* **SSE** (``text/event-stream``): the same payload wrapped in a
+  ``data:`` field, double-newline terminated, so browsers can consume
+  the stream through ``EventSource``.
+
+The encoders run on the controller thread (encode once per item, fan
+out as shared bytes), so they are deliberately allocation-light and
+defensive: a RIB node missing optional state encodes as zeros rather
+than raising inside the TTI loop.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Optional
+
+from repro.core.controller.rib import AgentNode, CellNode, UeNode
+from repro.core.protocol.messages import EventNotification, EventType
+
+JSONL_CONTENT_TYPE = "application/x-ndjson"
+SSE_CONTENT_TYPE = "text/event-stream"
+
+MODE_JSONL = "jsonl"
+MODE_SSE = "sse"
+
+
+def json_bytes(obj: object) -> bytes:
+    """Compact UTF-8 JSON encoding (the shared fan-out payload)."""
+    return json.dumps(obj, separators=(",", ":"),
+                      default=str).encode("utf-8")
+
+
+def frame_jsonl(payload: bytes) -> bytes:
+    return payload + b"\n"
+
+
+def frame_sse(payload: bytes) -> bytes:
+    return b"data: " + payload + b"\n\n"
+
+
+FRAMERS = {MODE_JSONL: frame_jsonl, MODE_SSE: frame_sse}
+CONTENT_TYPES = {MODE_JSONL: JSONL_CONTENT_TYPE, MODE_SSE: SSE_CONTENT_TYPE}
+
+
+def event_class_name(event: EventNotification) -> str:
+    """Stable lower-case class name for routing (e.g. ``ue_attach``)."""
+    try:
+        return EventType(event.event_type).name.lower()
+    except ValueError:
+        return f"unknown_{event.event_type}"
+
+
+def event_to_dict(tti: int, event: EventNotification) -> Dict[str, object]:
+    return {
+        "stream": "events",
+        "tti": tti,
+        "class": event_class_name(event),
+        "agent": event.header.agent_id,
+        "xid": event.header.xid,
+        "rnti": event.rnti,
+        "cell": event.cell_id,
+        "details": dict(event.details),
+    }
+
+
+def ue_sample(tti: int, agent_id: int, node: Optional[UeNode],
+              rnti: int) -> Dict[str, object]:
+    if node is None:
+        return {"stream": "ue", "tti": tti, "agent": agent_id,
+                "rnti": rnti, "present": False}
+    stats = node.stats
+    return {
+        "stream": "ue",
+        "tti": tti,
+        "agent": agent_id,
+        "rnti": node.rnti,
+        "present": True,
+        "cell": node.cell_id,
+        "cqi": node.cqi,
+        "queue_bytes": node.queue_bytes,
+        "rx_bytes_total": stats.rx_bytes_total if stats else 0,
+        "stats_tti": node.stats_tti,
+    }
+
+
+def cell_sample(tti: int, agent_id: int, node: Optional[CellNode],
+                cell_id: int) -> Dict[str, object]:
+    if node is None:
+        return {"stream": "cell", "tti": tti, "agent": agent_id,
+                "cell": cell_id, "present": False}
+    stats = node.stats
+    return {
+        "stream": "cell",
+        "tti": tti,
+        "agent": agent_id,
+        "cell": node.cell_id,
+        "present": True,
+        "n_prb": node.n_prb,
+        "n_ues": len(node.ues),
+        "dl_bytes": stats.dl_bytes if stats else 0,
+        "tb_ok": stats.tb_ok if stats else 0,
+        "tb_err": stats.tb_err if stats else 0,
+        "stats_tti": node.stats_tti,
+    }
+
+
+def tti_sample(tti: int, n_agents: int, n_live: int) -> Dict[str, object]:
+    return {"stream": "tti", "tti": tti, "agents": n_agents,
+            "live_agents": n_live}
+
+
+def agent_summary(node: AgentNode, now: int) -> Dict[str, object]:
+    return {
+        "agent": node.agent_id,
+        "enb": node.enb_id,
+        "liveness": node.liveness.value,
+        "capabilities": list(node.capabilities),
+        "last_heard_tti": node.last_heard_tti,
+        "estimated_tti": node.estimated_subframe(now),
+        "cells": sorted(node.cells),
+        "n_ues": sum(len(c.ues) for c in node.cells.values()),
+    }
+
+
+def agent_detail(node: AgentNode, now: int) -> Dict[str, object]:
+    out = agent_summary(node, now)
+    out["cell_detail"] = [
+        cell_sample(now, node.agent_id, node.cells[cid], cid)
+        for cid in sorted(node.cells)]
+    return out

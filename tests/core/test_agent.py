@@ -19,7 +19,8 @@ from repro.core.protocol.messages import (
     Hello,
     PolicyReconfiguration,
     ReportType,
-    SetConfig,
+    SyncConfig,
+    AbsPatternConfig,
     StatsReply,
     StatsRequest,
     SubframeTrigger,
@@ -87,9 +88,9 @@ class TestSync:
         assert not any(isinstance(m, SubframeTrigger)
                        for m in master_recv(conn))
 
-    def test_sync_enabled_via_set_config(self, wired):
+    def test_sync_enabled_via_sync_config(self, wired):
         agent, _, conn = wired
-        master_send(conn, SetConfig(entries={"sync": "on"}))
+        master_send(conn, SyncConfig(enabled=True))
         agent.tick_rx(0)
         agent.tick_tx(1)
         triggers = [m for m in master_recv(conn, 1)
@@ -179,8 +180,8 @@ class TestCommands:
 
     def test_abs_pattern_config(self, wired):
         agent, enb, conn = wired
-        master_send(conn, SetConfig(cell_id=enb.cell().cell_id,
-                                    entries={"abs_pattern": "1,3,5"}))
+        master_send(conn, AbsPatternConfig(cell_id=enb.cell().cell_id,
+                                           subframes=[1, 3, 5]))
         agent.tick_rx(0)
         assert enb.cell().muted_subframes == {1, 3, 5}
 

@@ -26,7 +26,7 @@ from repro.core.protocol.messages import (
     Header,
     Hello,
     PolicyReconfiguration,
-    SetConfig,
+    PrbCapConfig,
     StatsReply,
     StatsRequest,
     SubframeTrigger,
@@ -45,8 +45,7 @@ EXAMPLES = [
                 cells=[CellConfigRep(cell_id=10, n_prb_dl=50)],
                 ues=[UeConfigRep(rnti=70, imsi="001", cell_id=10,
                                  labels={"operator": "mno"})]),
-    SetConfig(header=Header(), cell_id=10,
-              entries={"abs_pattern": "1,3,5,7"}),
+    PrbCapConfig(header=Header(), cell_id=10, capped=True, n_prb=25),
     StatsRequest(header=Header(xid=9), report_type=1, period_ttis=2,
                  flags=0x3F),
     StatsReply(header=Header(agent_id=1, tti=99), report_type=1,

@@ -32,7 +32,7 @@ from repro.core.protocol.messages import (
     Header,
     Hello,
     PolicyReconfiguration,
-    SetConfig,
+    PrbCapConfig,
     StatsReply,
     StatsRequest,
     SubframeTrigger,
@@ -85,8 +85,8 @@ MESSAGE_STRATEGIES = {
     ConfigReply: st.builds(ConfigReply, header=HEADERS, enb_id=UVAR,
                            cells=st.lists(CELL_CONFIGS, max_size=3),
                            ues=st.lists(UE_CONFIGS, max_size=3)),
-    SetConfig: st.builds(SetConfig, header=HEADERS, cell_id=UVAR,
-                         entries=STR_MAP),
+    PrbCapConfig: st.builds(PrbCapConfig, header=HEADERS, cell_id=UVAR,
+                            capped=st.booleans(), n_prb=UVAR),
     StatsRequest: st.builds(StatsRequest, header=HEADERS, report_type=UVAR,
                             period_ttis=UVAR, flags=UVAR),
     StatsReply: st.builds(StatsReply, header=HEADERS, report_type=U8,

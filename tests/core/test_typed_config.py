@@ -1,9 +1,10 @@
 """Tests for the typed Northbound configuration API.
 
-The stringly ``set_config`` side-channels (``abs_pattern`` comma
-strings, packed ``bearer_qos`` strings, ``sync`` on/off) are replaced
-by first-class protocol messages; the old keys survive as deprecated
-shims.
+The stringly ``SetConfig`` side-channels (``abs_pattern`` comma
+strings, packed ``bearer_qos`` strings, ``sync`` on/off,
+``dl_prb_cap``) are replaced by first-class protocol messages;
+``SetConfig`` itself is retired and its wire frames fail with a
+dedicated error.
 """
 
 import pytest
@@ -11,14 +12,14 @@ import pytest
 from repro.core.agent import FlexRanAgent
 from repro.core.controller import MasterController
 from repro.core.protocol import codec
+from repro.core.protocol.errors import RetiredMessageType
 from repro.core.protocol.messages import (
     AbsPatternConfig,
     BearerQosConfig,
     DciSpec,
     Header,
-    SetConfig,
+    PrbCapConfig,
     SyncConfig,
-    SubframeTrigger,
     UlMacCommand,
 )
 from repro.lte.enodeb import EnodeB
@@ -56,6 +57,9 @@ class TestWireRoundtrip:
         BearerQosConfig(rnti=71, lcid=4, qci=9, gbr_kbps=0),
         SyncConfig(enabled=True),
         SyncConfig(enabled=False),
+        PrbCapConfig(header=Header(xid=4), cell_id=10, capped=True,
+                     n_prb=25),
+        PrbCapConfig(cell_id=10, capped=False, n_prb=0),
     ])
     def test_roundtrip(self, message):
         assert codec.decode(codec.encode(message)) == message
@@ -114,31 +118,44 @@ class TestTypedHandling:
         assert master.northbound.counters.config_ops == before + 3
 
 
-class TestDeprecatedShims:
-    """Old stringly SetConfig entries must keep working."""
+class TestSetConfigRetired:
+    """The string-keyed SetConfig path is gone; old frames fail loudly."""
 
-    def test_abs_pattern_string_shim(self, deployment):
-        enb, agent, master, conn = deployment
-        agent.dispatch(SetConfig(cell_id=enb.cell().cell_id,
-                                 entries={"abs_pattern": "2,4"}), 0)
-        assert enb.cell().muted_subframes == {2, 4}
+    # A SetConfig frame as an old controller would emit it:
+    # type 6, header (agent_id=0, xid=1, tti=0), cell_id=10,
+    # one entry {"sync": "on"}.
+    OLD_FRAME = bytes(
+        [6, 0, 1, 0, 10, 1, 4]) + b"sync" + bytes([2]) + b"on"
 
-    def test_bearer_qos_string_shim(self, deployment):
-        enb, agent, master, conn = deployment
-        rnti = enb.attach_ue(Ue("001", FixedCqi(10)), tti=0)
-        agent.dispatch(SetConfig(
-            entries={"bearer_qos": f"{rnti}:3:1:2000"}), 0)
-        profile = enb.bearer_qos[(rnti, 3)]
-        assert profile.qci == 1
-        assert profile.gbr_mbps == pytest.approx(2.0)
+    def test_old_frame_raises_retired_error(self):
+        with pytest.raises(RetiredMessageType, match="SetConfig"):
+            codec.decode(self.OLD_FRAME)
 
-    def test_sync_string_shim(self, deployment):
+    def test_retired_error_is_a_protocol_error(self):
+        from repro.core.protocol.errors import DecodeError, ProtocolError
+        assert issubclass(RetiredMessageType, DecodeError)
+        assert issubclass(RetiredMessageType, ProtocolError)
+
+    def test_wire_id_not_reassigned(self):
+        from repro.core.protocol.messages import (
+            MESSAGE_TYPES,
+            RETIRED_MESSAGE_TYPES,
+        )
+        assert RETIRED_MESSAGE_TYPES[6] == "SetConfig"
+        assert set(MESSAGE_TYPES) & set(RETIRED_MESSAGE_TYPES) == set()
+
+    def test_prb_cap_goes_typed(self, deployment):
         enb, agent, master, conn = deployment
-        agent.dispatch(SetConfig(entries={"sync": "on"}), 0)
-        assert agent.sync_enabled
-        agent.tick_tx(1)
-        assert any(isinstance(m, SubframeTrigger)
-                   for m in conn.master_side.receive(now=1))
+        cell = enb.cell()
+        full = cell.n_prb
+        master.northbound.set_prb_cap(1, cell.cell_id, 25)
+        got = conn.agent_side.receive(now=0)
+        assert len(got) == 1 and isinstance(got[0], PrbCapConfig)
+        agent.dispatch(got[0], 0)
+        assert cell.n_prb == 25
+        master.northbound.set_prb_cap(1, cell.cell_id, None)
+        agent.dispatch(conn.agent_side.receive(now=0)[0], 0)
+        assert cell.n_prb == full
 
 
 class TestUplinkCommandPath:

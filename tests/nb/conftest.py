@@ -1,0 +1,92 @@
+"""Shared fixtures for the northbound service-plane tests."""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import pytest
+
+from repro import obs
+from repro.lte.phy.channel import FixedCqi
+from repro.lte.ue import Ue
+from repro.nb.client import NorthboundClient
+from repro.nb.server import NorthboundServer
+from repro.nb.service import NorthboundService
+from repro.sim.simulation import Simulation
+
+
+@pytest.fixture(autouse=True)
+def _reset_obs():
+    yield
+    obs.disable()
+
+
+def build_sim(n_ues: int = 1) -> Simulation:
+    """One eNB + agent + *n_ues* UEs, master attached."""
+    sim = Simulation(with_master=True)
+    enb = sim.add_enb()
+    sim.add_agent(enb, rtt_ms=2.0)
+    for i in range(n_ues):
+        sim.add_ue(enb, Ue(f"20893000000{i:04d}", FixedCqi(12)))
+    return sim
+
+
+@pytest.fixture
+def sim():
+    return build_sim()
+
+
+@pytest.fixture
+def service(sim):
+    svc = NorthboundService(sim.master)
+    svc.attach()
+    yield svc
+    svc.detach()
+
+
+class LiveServer:
+    """A running sim + HTTP server, ticking on a background thread."""
+
+    def __init__(self, sim: Simulation, service: NorthboundService,
+                 server: NorthboundServer, host: str, port: int) -> None:
+        self.sim = sim
+        self.service = service
+        self.server = server
+        self.host = host
+        self.port = port
+        self._stop = threading.Event()
+        self._thread = threading.Thread(target=self._drive, daemon=True)
+        self._thread.start()
+
+    def _drive(self) -> None:
+        while not self._stop.is_set():
+            self.sim.run(20)
+            time.sleep(0.001)
+
+    def client(self, **kwargs) -> NorthboundClient:
+        return NorthboundClient(self.host, self.port, **kwargs)
+
+    def agent_id(self) -> int:
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            ids = self.sim.master.rib.agent_ids()
+            if ids:
+                return ids[0]
+            time.sleep(0.01)
+        raise AssertionError("agent never joined the RIB")
+
+    def shutdown(self) -> None:
+        self._stop.set()
+        self._thread.join(5.0)
+        self.server.stop()
+        self.service.detach()
+
+
+@pytest.fixture
+def live(sim, service):
+    server = NorthboundServer(service)
+    host, port = server.start()
+    live = LiveServer(sim, service, server, host, port)
+    yield live
+    live.shutdown()

@@ -33,3 +33,16 @@ class TestCli:
         assert main(["demo", "wifi"]) == 0
         out = capsys.readouterr().out
         assert "max-rate VSF" in out
+
+    def test_serve_smoke(self, capsys, tmp_path):
+        import json
+
+        report = tmp_path / "nb_report.json"
+        assert main(["serve", "--smoke", "--smoke-items", "5",
+                     "--report", str(report)]) == 0
+        out = capsys.readouterr().out
+        assert "smoke OK" in out
+        assert "nb.fanout.latency_ms" in out
+        doc = json.loads(report.read_text())
+        assert doc["policy_xid"] > 0
+        assert doc["tti_items"] >= 5
