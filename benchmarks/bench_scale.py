@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from conftest import print_table, run_once
 
+from repro.cluster import ClusterConfig, run_cluster
 from repro.perf import _percentile, sample_tti_walltime
 from repro.sim.scenarios import large_scale
 
@@ -19,6 +20,10 @@ N_ENBS = 32
 UES_PER_ENB = 100
 WARMUP_TTIS = 40
 RUN_TTIS = 60
+
+CLUSTER_ENBS = 8
+CLUSTER_UES_PER_ENB = 25
+CLUSTER_TTIS = 300
 
 
 def run_case():
@@ -45,3 +50,32 @@ def test_scale_per_tti_walltime(benchmark):
     assert delivered > 0
     # Sanity on the distribution shape, not on machine speed.
     assert 0 < median <= p95
+
+
+def run_cluster_case():
+    """The same deployment shape, sharded over 2 TCP worker processes."""
+    config = ClusterConfig(
+        workers=2, n_enbs=CLUSTER_ENBS, ues_per_enb=CLUSTER_UES_PER_ENB,
+        total_ttis=CLUSTER_TTIS, window=32)
+    return run_cluster(config)
+
+
+def test_scale_cluster_per_tti_walltime(benchmark):
+    report = run_once(benchmark, run_cluster_case)
+    samples = sorted(report.fleet_samples_us) or [report.us_per_tti]
+    print_table(
+        "Sharded scale -- fleet us/TTI at 8 agents x 25 UEs/cell over "
+        "2 worker processes (real TCP transport; speedup numbers come "
+        "from `repro cluster --sweep`, which needs >= 2 cores to mean "
+        "anything)",
+        ["workers", "agents", "UEs", "TTIs", "median us", "p95 us",
+         "max lead"],
+        [[report.workers, report.rib_agents, report.rib_ues,
+          report.total_ttis, _percentile(samples, 50),
+          _percentile(samples, 95), report.max_lead_ttis]])
+
+    # The master's cross-shard RIB converged to the full deployment.
+    assert report.rib_agents == CLUSTER_ENBS
+    assert report.rib_ues == CLUSTER_ENBS * CLUSTER_UES_PER_ENB
+    # The credit scheme bounded shard skew to the window.
+    assert report.max_lead_ttis <= 32

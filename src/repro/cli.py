@@ -30,6 +30,11 @@ Northbound service plane (the ``repro.nb`` subsystem):
     python -m repro serve                          # HTTP server, Ctrl-C to stop
     python -m repro serve --smoke --report nb.json # scripted smoke + report
 
+Sharded runtime (the ``repro.cluster`` subsystem):
+
+    python -m repro cluster --workers 2            # 2-worker TCP fleet
+    python -m repro cluster --sweep 1,2 --report cluster.json
+
 ``trace`` runs a scenario with full instrumentation and writes a
 Chrome trace-event file (open in chrome://tracing or
 https://ui.perfetto.dev) that also embeds the xid-correlated
@@ -461,6 +466,77 @@ def _cmd_serve(args) -> int:
         obs.disable()
 
 
+def _cmd_cluster(args) -> int:
+    """Run the sharded multi-process runtime, optionally sweeping
+    worker counts and gating on scaling speedups."""
+    import json
+    import os
+
+    from repro.cluster import ClusterConfig, run_cluster
+    from repro.perf import environment_stamp
+
+    worker_counts = ([int(w) for w in args.sweep.split(",")]
+                     if args.sweep else [args.workers])
+    gates = {}
+    for part in (p for p in args.min_speedup.split(",") if p):
+        workers_s, speedup_s = part.split(":")
+        gates[int(workers_s)] = float(speedup_s)
+    if gates and worker_counts[0] != 1:
+        print("--min-speedup needs a 1-worker baseline first in the "
+              "sweep (e.g. --sweep 1,2)", file=sys.stderr)
+        return 2
+
+    runs = []
+    for workers in worker_counts:
+        config = ClusterConfig(
+            workers=workers, n_enbs=args.enbs,
+            ues_per_enb=args.ues_per_enb, total_ttis=args.ttis,
+            window=args.window)
+        report = run_cluster(config)
+        entry = report.to_dict()
+        entry["speedup"] = round(
+            runs[0]["us_per_tti"] / report.us_per_tti, 2) if runs else 1.0
+        runs.append(entry)
+        print(f"workers={workers}: {report.us_per_tti:.0f} us/TTI "
+              f"(wall {report.wall_s:.2f}s, speedup "
+              f"{entry['speedup']:.2f}x, rib {report.rib_agents} agents"
+              f"/{report.rib_ues} UEs, max lead "
+              f"{report.max_lead_ttis} TTIs)")
+        expected = (report.rib_agents == args.enbs
+                    and report.rib_ues == args.enbs * args.ues_per_enb)
+        if not expected:
+            print(f"workers={workers}: RIB did not converge "
+                  f"({report.rib_agents} agents, {report.rib_ues} UEs)",
+                  file=sys.stderr)
+            return 1
+
+    if args.report:
+        doc = {"schema": "repro.cluster/1", "env": environment_stamp(),
+               "enbs": args.enbs, "ues_per_enb": args.ues_per_enb,
+               "total_ttis": args.ttis, "runs": runs}
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.report}")
+
+    cores = os.cpu_count() or 1
+    failed = []
+    for entry in runs:
+        gate = gates.get(entry["workers"])
+        if gate is None:
+            continue
+        if cores < entry["workers"]:
+            print(f"workers={entry['workers']}: speedup gate skipped "
+                  f"(only {cores} cores -- the shards time-share)")
+            continue
+        if entry["speedup"] < gate:
+            failed.append((entry["workers"], entry["speedup"], gate))
+    for workers, speedup, gate in failed:
+        print(f"workers={workers}: speedup {speedup:.2f}x below the "
+              f"{gate:.2f}x gate", file=sys.stderr)
+    return 1 if failed else 0
+
+
 def _cmd_info() -> None:
     import repro
     from repro.core.protocol.messages import MESSAGE_TYPES
@@ -535,6 +611,27 @@ def main(argv=None) -> int:
                        help="stream items the smoke client must receive")
     serve.add_argument("--report", default="",
                        help="with --smoke: write the fan-out report here")
+
+    cluster = sub.add_parser(
+        "cluster", help="run the sharded multi-process TCP runtime")
+    cluster.add_argument("--workers", type=int, default=2,
+                         help="worker processes (ignored with --sweep)")
+    cluster.add_argument("--enbs", type=int, default=8,
+                         help="eNodeBs across the fleet")
+    cluster.add_argument("--ues-per-enb", type=int, default=25)
+    cluster.add_argument("--ttis", type=int, default=400,
+                         help="TTIs each shard simulates")
+    cluster.add_argument("--window", type=int, default=32,
+                         help="credit window (max TTIs a shard may lead)")
+    cluster.add_argument("--sweep", default="",
+                         help="comma-separated worker counts to sweep, "
+                              "e.g. 1,2,4")
+    cluster.add_argument("--min-speedup", default="",
+                         help="gates like 2:1.6,4:2.5 (workers:speedup "
+                              "vs the 1-worker run; skipped when the "
+                              "machine has fewer cores than workers)")
+    cluster.add_argument("--report", default="",
+                         help="write the scaling report JSON here")
     args = parser.parse_args(argv)
 
     if args.command == "info":
@@ -551,6 +648,8 @@ def main(argv=None) -> int:
         return _cmd_perf(args)
     elif args.command == "serve":
         return _cmd_serve(args)
+    elif args.command == "cluster":
+        return _cmd_cluster(args)
     else:
         parser.print_help()
         return 2

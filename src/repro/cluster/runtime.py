@@ -1,0 +1,396 @@
+"""The sharded cluster runtime: master process + worker fleet.
+
+:class:`ClusterRuntime` hosts the real :class:`MasterController` plus
+the TCP transport server, spawns one worker process per shard
+(``multiprocessing`` spawn context -- no inherited state), and runs
+the barrier-free credit pump:
+
+* adopt agents as their TCP connections arrive (``connect_agent`` +
+  a periodic-stats subscription, the scale-bench workload);
+* poll the worker control pipes for progress and extend grants from
+  the :class:`~repro.cluster.credits.CreditScheduler`;
+* tick the master through every TTI below the fleet low-water mark,
+  so its cross-shard RIB view is complete for each TTI it serves;
+* on shard failure (or deliberate rebalancing), hand the shard's RIB
+  subtrees over checkpoint snapshots to the replacement worker's
+  adoption path (:meth:`respawn_shard`).
+
+Everything protocol-level rides the TCP data plane; the pipes carry
+only scheduler tuples.
+"""
+
+from __future__ import annotations
+
+import logging
+import multiprocessing
+import threading
+import time
+from dataclasses import asdict, dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.cluster.credits import CreditScheduler
+from repro.cluster.partition import ShardMap, ShardSpec, plan_shards
+from repro.cluster.worker import (
+    PROGRESS_CHUNK_TTIS,
+    WorkerSpec,
+    spawn_worker,
+)
+from repro.core.controller import MasterController
+from repro.core.protocol.messages import ReportType
+from repro.core.survive.snapshot import (
+    merge_rib_subset,
+    snapshot_rib_subset,
+)
+from repro.net.link import EmulatedLink
+from repro.net.tcp import TcpEndpoint, TcpHub, TcpTransportServer
+
+logger = logging.getLogger(__name__)
+
+DRAIN_TTIS = 4
+"""Extra master ticks after all workers finish, so reports still in
+the kernel's sockets get applied before the run is scored."""
+
+DRAIN_SETTLE_S = 0.05
+"""Grace period for in-flight TCP data before the drain ticks."""
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """Knobs for one sharded run (defaults sized for smoke tests)."""
+
+    workers: int = 2
+    n_enbs: int = 8
+    ues_per_enb: int = 25
+    total_ttis: int = 400
+    window: int = 32
+    report_chunk: int = PROGRESS_CHUNK_TTIS
+    stats_period_ttis: int = 5
+    load_factor: float = 0.8
+    host: str = "127.0.0.1"
+    seed: int = 0
+    realtime_master: bool = True
+
+
+@dataclass
+class ClusterReport:
+    """What a sharded run produced (JSON-able via ``to_dict``)."""
+
+    workers: int
+    n_enbs: int
+    ues_per_enb: int
+    total_ttis: int
+    wall_s: float
+    us_per_tti: float
+    master_ttis: int
+    rib_agents: int
+    rib_ues: int
+    respawns: int
+    max_lead_ttis: int
+    agents_accepted: int
+    worker_busy_s: List[float] = field(default_factory=list)
+    fleet_samples_us: List[float] = field(default_factory=list)
+
+    def to_dict(self) -> dict:
+        return asdict(self)
+
+
+class _ShardHandle:
+    """Master-side bookkeeping for one worker process."""
+
+    def __init__(self, spec: ShardSpec, process, pipe) -> None:
+        self.spec = spec
+        self.process = process
+        self.pipe = pipe
+        self.done = False
+        self.ready = False
+        self.busy_s = 0.0
+
+
+class ClusterRuntime:
+    """Master-side orchestration of a sharded TCP deployment."""
+
+    def __init__(self, config: ClusterConfig, *,
+                 master: Optional[MasterController] = None) -> None:
+        self.config = config
+        self.master = master or MasterController(
+            realtime=config.realtime_master)
+        self.shard_map = ShardMap(plan_shards(
+            config.n_enbs, config.workers,
+            ues_per_enb=config.ues_per_enb,
+            load_factor=config.load_factor, seed=config.seed))
+        self.credits = CreditScheduler(
+            config.total_ttis, config.window,
+            [s.shard_id for s in self.shard_map.shards])
+        self.hub = TcpHub(name="cluster-hub")
+        self.server: Optional[TcpTransportServer] = None
+        self.master_tti = 0
+        self.respawns = 0
+        self.max_lead_ttis = 0
+        self._ctx = multiprocessing.get_context("spawn")
+        self._handles: Dict[int, _ShardHandle] = {}
+        self._pending_lock = threading.Lock()
+        self._pending_agents: List[Tuple[int, TcpEndpoint]] = []
+        self._subscribed: set = set()
+        self._fleet_samples_us: List[float] = []
+        self._low_water_mark = 0
+        self._low_water_stamp: Optional[float] = None
+        self._scheduled_respawns: List[Tuple[int, int]] = []
+
+    # -- transport-side callbacks (hub loop thread) ------------------------
+
+    def _endpoint_factory(self, agent_id: int) -> TcpEndpoint:
+        return TcpEndpoint(
+            EmulatedLink(name=f"master->agent{agent_id}"),
+            EmulatedLink(name=f"agent{agent_id}->master"),
+            peer=f"agent{agent_id}", tx_direction="dl",
+            rx_direction="ul", streaming=True)
+
+    def _on_agent(self, agent_id: int, endpoint: TcpEndpoint) -> None:
+        with self._pending_lock:
+            self._pending_agents.append((agent_id, endpoint))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def start(self) -> "ClusterRuntime":
+        """Bind the transport server and spawn the worker fleet."""
+        self.hub.start()
+        self.server = TcpTransportServer(
+            self.hub, host=self.config.host,
+            endpoint_factory=self._endpoint_factory,
+            on_agent=self._on_agent)
+        host, port = self.server.start()
+        for spec in self.shard_map.shards:
+            self._spawn(spec, host, port)
+        return self
+
+    def _spawn(self, spec: ShardSpec, host: str, port: int) -> None:
+        worker_spec = WorkerSpec(
+            shard=spec, host=host, port=port,
+            total_ttis=self.config.total_ttis,
+            report_chunk=self.config.report_chunk)
+        process, pipe = spawn_worker(self._ctx, worker_spec)
+        self._handles[spec.shard_id] = _ShardHandle(spec, process, pipe)
+
+    def close(self) -> None:
+        for handle in self._handles.values():
+            try:
+                handle.pipe.send(("stop",))
+            except (OSError, BrokenPipeError):
+                pass
+        for handle in self._handles.values():
+            handle.process.join(5.0)
+            if handle.process.is_alive():
+                handle.process.terminate()
+                handle.process.join(5.0)
+            handle.pipe.close()
+        if self.server is not None:
+            self.server.stop()
+        self.hub.stop()
+
+    def __enter__(self) -> "ClusterRuntime":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- the pump ----------------------------------------------------------
+
+    def run(self) -> ClusterReport:
+        """Drive the fleet to completion; returns the run report.
+
+        The timed window starts once every worker has built its shard
+        and all agents are adopted, so ``us_per_tti`` measures
+        steady-state fleet throughput, not process-spawn cost.
+        """
+        config = self.config
+        self._wait_fleet_ready()
+        started = time.perf_counter()
+        self._low_water_stamp = started
+        for shard_id, grant in self.credits.grants():
+            self._send_grant(shard_id, grant)
+        while True:
+            worked = self._adopt_pending()
+            worked |= self._poll_workers()
+            self._fire_scheduled_respawns()
+            for shard_id, grant in self.credits.grants():
+                self._send_grant(shard_id, grant)
+            target = self.credits.low_water()
+            while self.master_tti < target:
+                self.master.tick(self.master_tti)
+                self.master_tti += 1
+                worked = True
+            if (self.credits.all_done()
+                    and all(h.done for h in self._handles.values())):
+                break
+            if not worked:
+                time.sleep(0.0002)
+        # Let the last reports cross the kernel, then drain them.
+        time.sleep(DRAIN_SETTLE_S)
+        self._adopt_pending()
+        for _ in range(DRAIN_TTIS):
+            self.master.tick(self.master_tti)
+            self.master_tti += 1
+        wall_s = time.perf_counter() - started
+        return ClusterReport(
+            workers=config.workers, n_enbs=config.n_enbs,
+            ues_per_enb=config.ues_per_enb,
+            total_ttis=config.total_ttis, wall_s=wall_s,
+            us_per_tti=wall_s * 1e6 / config.total_ttis,
+            master_ttis=self.master_tti,
+            rib_agents=len(self.master.rib.agent_ids()),
+            rib_ues=self.master.rib.ue_count(),
+            respawns=self.respawns, max_lead_ttis=self.max_lead_ttis,
+            agents_accepted=(self.server.agents_accepted
+                             if self.server else 0),
+            worker_busy_s=[self._handles[s].busy_s
+                           for s in sorted(self._handles)],
+            fleet_samples_us=list(self._fleet_samples_us))
+
+    def _wait_fleet_ready(self, *, timeout: float = 120.0) -> None:
+        """Block until every worker is built and every agent adopted."""
+        deadline = time.monotonic() + timeout
+        total_agents = len(self.shard_map.all_agent_ids())
+        while True:
+            self._poll_workers()
+            self._adopt_pending()
+            if (all(h.ready for h in self._handles.values())
+                    and len(self.master.agent_endpoints())
+                    >= total_agents):
+                return
+            if time.monotonic() > deadline:
+                missing = [s for s, h in self._handles.items()
+                           if not h.ready]
+                raise RuntimeError(
+                    f"cluster startup timed out; shards not ready: "
+                    f"{missing}, agents connected: "
+                    f"{len(self.master.agent_endpoints())}/{total_agents}")
+            time.sleep(0.001)
+
+    def _send_grant(self, shard_id: int, grant: int) -> None:
+        handle = self._handles[shard_id]
+        try:
+            handle.pipe.send(("grant", grant))
+        except (OSError, BrokenPipeError):
+            logger.warning("cluster: shard %d pipe is gone", shard_id)
+
+    def _adopt_pending(self) -> bool:
+        """Connect agents whose TCP sessions arrived since last tick."""
+        with self._pending_lock:
+            pending, self._pending_agents = self._pending_agents, []
+        for agent_id, endpoint in pending:
+            if agent_id in self.master.agent_endpoints():
+                # A respawned shard's agent reconnecting: swap the
+                # dead socket's endpoint for the live one.
+                self.master.disconnect_agent(agent_id)
+            self.master.connect_agent(agent_id, endpoint)
+            # The scale workload: subscribe each agent to periodic
+            # full stats as soon as it is adopted (idempotent per
+            # connection; a reconnect re-subscribes the fresh agent).
+            self.master.northbound.request_stats(
+                agent_id, report_type=ReportType.PERIODIC,
+                period_ttis=self.config.stats_period_ttis)
+            self._subscribed.add(agent_id)
+        return bool(pending)
+
+    def _poll_workers(self) -> bool:
+        worked = False
+        for shard_id, handle in self._handles.items():
+            while handle.pipe.poll():
+                worked = True
+                try:
+                    message = handle.pipe.recv()
+                except (EOFError, OSError):
+                    handle.done = True
+                    break
+                kind = message[0]
+                if kind == "ready":
+                    handle.ready = True
+                elif kind == "progress":
+                    self.credits.report(shard_id, int(message[1]))
+                    handle.busy_s += float(message[2])
+                    self._note_low_water()
+                elif kind == "done":
+                    self.credits.report(shard_id, int(message[1]))
+                    handle.done = True
+                    self._note_low_water()
+                elif kind == "error":
+                    raise RuntimeError(
+                        f"shard {shard_id} failed: {message[1]}")
+        return worked
+
+    def _note_low_water(self) -> None:
+        """Sample fleet throughput each time the low-water advances."""
+        self.max_lead_ttis = max(self.max_lead_ttis,
+                                 self.credits.max_lead())
+        low = self.credits.low_water()
+        if low <= self._low_water_mark:
+            return
+        now = time.perf_counter()
+        if self._low_water_stamp is not None:
+            delta_ttis = low - self._low_water_mark
+            delta_s = now - self._low_water_stamp
+            self._fleet_samples_us.append(delta_s * 1e6 / delta_ttis)
+        self._low_water_mark = low
+        self._low_water_stamp = now
+
+    def schedule_respawn(self, at_low_water_tti: int,
+                         shard_id: int) -> None:
+        """Chaos hook: respawn *shard_id* once the fleet low-water mark
+        reaches *at_low_water_tti*.  Fires on the pump thread, so it is
+        safe against the master's single-writer discipline."""
+        self._scheduled_respawns.append((at_low_water_tti, shard_id))
+
+    def _fire_scheduled_respawns(self) -> None:
+        if not self._scheduled_respawns:
+            return
+        low = self.credits.low_water()
+        due = [(t, s) for t, s in self._scheduled_respawns if low >= t]
+        self._scheduled_respawns = [
+            (t, s) for t, s in self._scheduled_respawns if low < t]
+        for _, shard_id in due:
+            self.respawn_shard(shard_id)
+
+    # -- shard handoff -----------------------------------------------------
+
+    def respawn_shard(self, shard_id: int) -> List[int]:
+        """Kill one worker and hand its state to a replacement.
+
+        The handoff reuses the checkpoint primitives end to end: the
+        shard's RIB subtrees are snapshotted
+        (:func:`snapshot_rib_subset`), the worker process is
+        terminated, and the subtrees are merged back
+        (:func:`merge_rib_subset`) so the master keeps serving a warm
+        view of the shard while the replacement worker reconnects and
+        the normal Hello -> config-request resync path refreshes it.
+        The replacement restarts its TTI range from zero; the credit
+        scheduler resets only this shard, so the rest of the fleet
+        keeps running through its existing grants (barrier-free).
+
+        Returns the agent ids handed over.
+        """
+        handle = self._handles[shard_id]
+        spec = handle.spec
+        subset = snapshot_rib_subset(self.master.rib, spec.agent_ids)
+        handle.process.terminate()
+        handle.process.join(5.0)
+        handle.pipe.close()
+        for agent_id in spec.agent_ids:
+            self.master.disconnect_agent(agent_id)
+            self.master.rib.remove_agent(agent_id)
+        merged = merge_rib_subset(self.master.rib, subset)
+        self.credits.reset_shard(shard_id)
+        assert self.server is not None
+        self._spawn(spec, self.server.host, self.server.port)
+        for sid, grant in self.credits.grants():
+            if sid == shard_id:
+                self._send_grant(sid, grant)
+        self.respawns += 1
+        logger.warning("cluster: respawned shard %d (agents %s)",
+                       shard_id, list(spec.agent_ids))
+        return merged
+
+
+def run_cluster(config: ClusterConfig) -> ClusterReport:
+    """Convenience wrapper: start, run, close, return the report."""
+    with ClusterRuntime(config).start() as runtime:
+        return runtime.run()

@@ -128,6 +128,36 @@ def restore_rib(agents: List[dict]) -> Rib:
     return rib
 
 
+def snapshot_rib_subset(rib: Rib, agent_ids) -> List[dict]:
+    """Serialize only the subtrees of *agent_ids* (a shard's slice).
+
+    Because the RIB is a forest keyed by agent and the single-writer
+    updater applies batches per agent, an agent subtree is a complete,
+    self-contained unit of state -- this is the shard-handoff payload
+    the cluster runtime ships when rebalancing or respawning workers.
+    """
+    wanted = {int(a) for a in agent_ids}
+    return [rec for rec in snapshot_rib(rib)
+            if int(rec["agent_id"]) in wanted]
+
+
+def merge_rib_subset(rib: Rib, agents: List[dict]) -> List[int]:
+    """Graft snapshot subtrees into an existing RIB, replacing any
+    current subtree of the same agent.  Returns the merged agent ids.
+
+    The inverse of :func:`snapshot_rib_subset`: after a shard respawn
+    the master merges the pre-failure subtrees back so it serves a
+    warm view while :meth:`MasterController.resync` re-requests the
+    authoritative state from the returning agents.
+    """
+    restored = restore_rib(agents)
+    merged: List[int] = []
+    for node in restored.agents():
+        rib._agents[node.agent_id] = node
+        merged.append(node.agent_id)
+    return merged
+
+
 def rib_forest_equal(a: Rib, b: Rib) -> bool:
     """Structural equality of two RIB forests (node contents included).
 

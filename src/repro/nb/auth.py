@@ -10,6 +10,7 @@ implementation good enough for CI and local experiments.
 
 from __future__ import annotations
 
+import hmac
 from typing import Dict, Optional
 
 
@@ -36,7 +37,10 @@ class TokenAuth(AuthPolicy):
     def authorize(self, method: str, path: str,
                   headers: Dict[str, str]) -> bool:
         value = headers.get("authorization", "")
-        return value == f"Bearer {self._token}"
+        # Constant-time compare: a ``==`` on secrets leaks the match
+        # length through response timing.
+        return hmac.compare_digest(
+            value.encode(), f"Bearer {self._token}".encode())
 
 
 def build_auth(token: Optional[str]) -> AuthPolicy:

@@ -1,4 +1,5 @@
-"""Control-channel substrate: simulation clock, emulated links, transport."""
+"""Control-channel substrate: simulation clock, emulated links, and the
+emulated + real-TCP transports."""
 
 from repro.net.clock import Phase, SimClock
 

@@ -71,7 +71,16 @@ class ProtocolEndpoint:
 
     def receive(self, *, now: int) -> List[FlexRanMessage]:
         """Decode every frame whose link latency has elapsed."""
-        frames = self._inbound.deliver_due(now)
+        return self._decode_frames(self._inbound.deliver_due(now), now)
+
+    def _decode_frames(self, frames: List[bytes],
+                       now: int) -> List[FlexRanMessage]:
+        """Decode delivered frames with the obs deliver-stage hooks.
+
+        Shared by the emulated receive path above and the TCP
+        transport (:mod:`repro.net.tcp`), so both report identical
+        lifecycle records to the xid correlator.
+        """
         if not frames:
             return []
         messages = [codec.decode(frame) for frame in frames]

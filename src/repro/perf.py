@@ -169,7 +169,30 @@ def _bench_scale(quick: bool) -> BenchResult:
     delivered = sum(e.counters.dl_delivered_bytes for e in sc.enbs)
     return BenchResult("scale", samples,
                        meta={"ues": len(sc.ues), "agents": len(sc.agents),
+                             "workers": 1,
                              "dl_delivered_mb": round(delivered / 1e6, 2)})
+
+
+def _bench_scale_cluster(quick: bool) -> BenchResult:
+    """The sharded runtime: the scale deployment split over 2 TCP
+    workers.  Samples are fleet-level us/TTI taken each time the
+    low-water mark advances, so the distribution reflects steady-state
+    cross-process throughput (spawn/adoption cost is excluded)."""
+    from repro.cluster import ClusterConfig, run_cluster
+
+    config = ClusterConfig(
+        workers=2, n_enbs=8, ues_per_enb=25,
+        total_ttis=200 if quick else 600, window=32)
+    report = run_cluster(config)
+    samples = report.fleet_samples_us or [report.us_per_tti]
+    return BenchResult(
+        "scale_cluster", samples,
+        meta={"workers": config.workers, "agents": config.n_enbs,
+              "ues": config.n_enbs * config.ues_per_enb,
+              "rib_agents": report.rib_agents,
+              "rib_ues": report.rib_ues,
+              "max_lead_ttis": report.max_lead_ttis,
+              "wall_s": round(report.wall_s, 3)})
 
 
 SUITE: Dict[str, Callable[[bool], BenchResult]] = {
@@ -178,6 +201,7 @@ SUITE: Dict[str, Callable[[bool], BenchResult]] = {
     "fig8_master": _bench_fig8_master,
     "fig9_latency": _bench_fig9_latency,
     "scale": _bench_scale,
+    "scale_cluster": _bench_scale_cluster,
 }
 
 

@@ -108,11 +108,12 @@ def centralized_scheduling(*, n_enbs: int = 1, ues_per_enb: int = 10,
                            load_factor: float = 1.2,
                            algorithm: Optional[Scheduler] = None,
                            channel_factory=None,
+                           transport: str = "emulated",
                            seed: int = 0) -> CentralizedScenario:
     """The paper's worst-case signaling setup: per-TTI stats reports,
     full TTI-level sync, and a centralized scheduler pushing decisions
     every TTI (Section 5.2.1)."""
-    sim = Simulation(with_master=True)
+    sim = Simulation(with_master=True, transport=transport)
     app = RemoteSchedulerApp(algorithm, schedule_ahead=schedule_ahead)
     sim.master.add_app(app)
     enbs: List[EnodeB] = []
@@ -167,7 +168,8 @@ scheduler and TBS paths see a realistic mix instead of one cache row."""
 
 def large_scale(*, n_enbs: int = 32, ues_per_enb: int = 100,
                 stats_period_ttis: int = 5, load_factor: float = 0.8,
-                rtt_ms: float = 2.0, seed: int = 0) -> ScaleScenario:
+                rtt_ms: float = 2.0, transport: str = "emulated",
+                seed: int = 0) -> ScaleScenario:
     """The scalability stress deployment (Fig. 8 pushed to its limit).
 
     Every eNodeB runs its local scheduler over *ues_per_enb* UEs with
@@ -178,7 +180,7 @@ def large_scale(*, n_enbs: int = 32, ues_per_enb: int = 100,
     ``repro perf`` harness uses for its headline per-TTI wall-time
     metric.
     """
-    sim = Simulation(with_master=True)
+    sim = Simulation(with_master=True, transport=transport)
     enbs: List[EnodeB] = []
     agents: List[FlexRanAgent] = []
     ues: List[Ue] = []
@@ -246,6 +248,7 @@ def partitioned_centralized(*, n_enbs: int = 1, ues_per_enb: int = 10,
                             echo_period_ttis: int = 500,
                             liveness_timeout_ttis: int = 1500,
                             stale_after_ttis: Optional[int] = None,
+                            transport: str = "emulated",
                             seed: int = 0) -> CentralizedScenario:
     """Centralized scheduling under control-channel faults.
 
@@ -260,7 +263,7 @@ def partitioned_centralized(*, n_enbs: int = 1, ues_per_enb: int = 10,
                               echo_period_ttis=echo_period_ttis,
                               liveness_timeout_ttis=liveness_timeout_ttis,
                               stale_after_ttis=stale_after_ttis)
-    sim = Simulation(master=master)
+    sim = Simulation(master=master, transport=transport)
     app = RemoteSchedulerApp(schedule_ahead=schedule_ahead)
     master.add_app(app)
     conn_cfg = connection_config or ConnectionConfig()

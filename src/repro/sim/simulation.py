@@ -30,6 +30,7 @@ from repro.lte.mac.amc import DEFAULT_ERROR_MODEL, ErrorModel
 from repro.lte.mac.queues import DEFAULT_LCID
 from repro.lte.ue import Ue
 from repro.net.clock import Phase, SimClock
+from repro.net.tcp import TcpConnectionFabric, TcpControlConnection
 from repro.net.transport import ControlConnection
 from repro.traffic.dash import DashClient
 from repro.traffic.epc import EpcStub, FlowStats
@@ -42,9 +43,14 @@ class Simulation:
 
     def __init__(self, *, with_master: bool = False,
                  realtime_master: bool = True,
-                 master: Optional[MasterController] = None) -> None:
+                 master: Optional[MasterController] = None,
+                 transport: str = "emulated") -> None:
+        if transport not in ("emulated", "tcp"):
+            raise ValueError(
+                f"transport must be 'emulated' or 'tcp', got {transport!r}")
         self.clock = SimClock()
         self.epc = EpcStub()
+        self.transport = transport
         self.master: Optional[MasterController] = master
         if with_master and self.master is None:
             self.master = MasterController(realtime=realtime_master)
@@ -56,13 +62,34 @@ class Simulation:
         self.dash_clients: List[DashClient] = []
         self._next_enb_id = 1
         self._cell_owner: Dict[int, int] = {}
+        self._tcp_fabric: Optional[TcpConnectionFabric] = None
 
         self.clock.register(Phase.TRAFFIC, self._traffic_phase)
         self.clock.register(Phase.AGENT_TX, self._agent_tx_phase)
+        if self.transport == "tcp":
+            # Real-TCP lockstep: the LINK phases ship each TTI's due
+            # frames through the kernel and wait for the peer's reader
+            # task, preserving the emulated transport's causal order.
+            self.clock.register(Phase.LINK_UP, self._link_up_phase)
+            self.clock.register(Phase.LINK_DOWN, self._link_down_phase)
         if self.master is not None:
             self.clock.register(Phase.MASTER, self._master_phase)
         self.clock.register(Phase.AGENT_RX, self._agent_rx_phase)
         self.clock.register(Phase.RAN, self._ran_phase)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def close(self) -> None:
+        """Tear down any real-transport resources (idempotent)."""
+        if self._tcp_fabric is not None:
+            self._tcp_fabric.close()
+            self._tcp_fabric = None
+
+    def __enter__(self) -> "Simulation":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     # -- topology -----------------------------------------------------------
 
@@ -88,18 +115,27 @@ class Simulation:
     def add_agent(self, enb: EnodeB, *, agent_id: Optional[int] = None,
                   rtt_ms: float = 0.0, sync_enabled: bool = False,
                   vsf_registry: Optional[VsfFactoryRegistry] = None,
-                  connection_config=None
+                  connection_config=None, endpoint=None
                   ) -> FlexRanAgent:
         """Attach a FlexRAN agent to *enb*, connected to the master
-        (if any) over an emulated control channel with *rtt_ms*."""
+        (if any) over a control channel with *rtt_ms* on the
+        simulation's transport.  Passing *endpoint* attaches the agent
+        to an externally established connection instead (how cluster
+        workers hand their agents a streaming TCP endpoint to a master
+        in another process)."""
         if agent_id is None:
             agent_id = enb.enb_id
         if agent_id in self.agents:
             raise ValueError(f"agent {agent_id} already exists")
-        endpoint = None
-        if self.master is not None:
-            conn = ControlConnection(rtt_ms=rtt_ms, name=f"agent{agent_id}",
-                                     seed=agent_id)
+        if endpoint is None and self.master is not None:
+            if self.transport == "tcp":
+                conn = TcpControlConnection(
+                    self._fabric(), agent_id, rtt_ms=rtt_ms,
+                    name=f"agent{agent_id}", seed=agent_id)
+            else:
+                conn = ControlConnection(rtt_ms=rtt_ms,
+                                         name=f"agent{agent_id}",
+                                         seed=agent_id)
             self.connections[agent_id] = conn
             self.master.connect_agent(agent_id, conn.master_side)
             endpoint = conn.agent_side
@@ -110,6 +146,12 @@ class Simulation:
         agent.api.set_handover_executor(self._execute_handover)
         self.agents[agent_id] = agent
         return agent
+
+    def _fabric(self) -> TcpConnectionFabric:
+        """The lazily started in-process TCP wiring (hub + server)."""
+        if self._tcp_fabric is None:
+            self._tcp_fabric = TcpConnectionFabric()
+        return self._tcp_fabric
 
     def add_ue(self, enb: EnodeB, ue: Ue,
                cell_id: Optional[int] = None) -> int:
@@ -184,9 +226,21 @@ class Simulation:
         for agent_id in sorted(self.agents):
             self.agents[agent_id].tick_tx(tti)
 
+    def _link_up_phase(self, tti: int) -> None:
+        for agent_id in sorted(self.connections):
+            conn = self.connections[agent_id]
+            if isinstance(conn, TcpControlConnection):
+                conn.flush_uplink(tti)
+
     def _master_phase(self, tti: int) -> None:
         assert self.master is not None
         self.master.tick(tti)
+
+    def _link_down_phase(self, tti: int) -> None:
+        for agent_id in sorted(self.connections):
+            conn = self.connections[agent_id]
+            if isinstance(conn, TcpControlConnection):
+                conn.flush_downlink(tti)
 
     def _agent_rx_phase(self, tti: int) -> None:
         for agent_id in sorted(self.agents):

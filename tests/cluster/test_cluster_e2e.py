@@ -1,0 +1,61 @@
+"""End-to-end sharded runs: master + worker fleet over real TCP.
+
+Small deployments so the tests stay fast on a single core -- the
+correctness claims (full RIB convergence, windowed lead, snapshot
+handoff on respawn) are size-independent; scaling numbers live in the
+cluster benchmark, not here.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterRuntime, run_cluster
+
+pytestmark = pytest.mark.slow
+
+
+class TestClusterEndToEnd:
+    def test_two_worker_run_converges(self):
+        config = ClusterConfig(
+            workers=2, n_enbs=4, ues_per_enb=10, total_ttis=200,
+            window=32, realtime_master=False)
+        report = run_cluster(config)
+        # The master saw every shard's full deployment: all four
+        # agents in the RIB, every UE attached via stats reports.
+        assert report.rib_agents == 4
+        assert report.rib_ues == 40
+        assert report.agents_accepted == 4
+        # It ticked through the whole run plus the drain tail.
+        assert report.master_ttis >= config.total_ttis
+        # The credit scheme held: no shard outran the window.
+        assert report.max_lead_ttis <= config.window
+        assert report.respawns == 0
+        assert len(report.worker_busy_s) == 2
+        assert all(b > 0 for b in report.worker_busy_s)
+
+    def test_report_is_json_able(self):
+        import json
+
+        config = ClusterConfig(
+            workers=1, n_enbs=2, ues_per_enb=4, total_ttis=80,
+            window=16, realtime_master=False)
+        report = run_cluster(config)
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["workers"] == 1
+        assert payload["rib_agents"] == 2
+        assert payload["rib_ues"] == 8
+
+    def test_respawn_hands_shard_over_snapshot(self):
+        """Kill one shard mid-run; the replacement reconnects and the
+        RIB reconverges to the full deployment."""
+        config = ClusterConfig(
+            workers=2, n_enbs=4, ues_per_enb=6, total_ttis=160,
+            window=24, realtime_master=False)
+        with ClusterRuntime(config).start() as runtime:
+            runtime.schedule_respawn(60, 1)
+            report = runtime.run()
+        assert report.respawns == 1
+        # Shard 1's two agents reconnected after the respawn.
+        assert report.agents_accepted == 6
+        assert report.rib_agents == 4
+        assert report.rib_ues == 24
+        assert report.master_ttis >= config.total_ttis

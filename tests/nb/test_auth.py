@@ -1,0 +1,61 @@
+"""Unit tests for the northbound auth policies."""
+
+import pytest
+
+from repro.nb.auth import AuthPolicy, TokenAuth, build_auth
+
+
+class TestTokenAuth:
+    def test_correct_token_authorizes(self):
+        auth = TokenAuth("sesame")
+        assert auth.authorize(
+            "GET", "/stats", {"authorization": "Bearer sesame"})
+
+    def test_wrong_token_rejected(self):
+        auth = TokenAuth("sesame")
+        assert not auth.authorize(
+            "GET", "/stats", {"authorization": "Bearer nope"})
+
+    def test_missing_header_rejected(self):
+        assert not TokenAuth("sesame").authorize("GET", "/stats", {})
+
+    def test_prefix_of_token_rejected(self):
+        """Partial matches must fail -- the compare is all-or-nothing
+        (and constant-time, so length can't be probed via timing)."""
+        auth = TokenAuth("sesame")
+        for probe in ("Bearer s", "Bearer sesam", "Bearer sesame1",
+                      "Bearer  sesame", "bearer sesame", "sesame"):
+            assert not auth.authorize(
+                "GET", "/stats", {"authorization": probe})
+
+    def test_non_ascii_header_rejected_not_crash(self):
+        auth = TokenAuth("sesame")
+        assert not auth.authorize(
+            "GET", "/stats", {"authorization": "Bearer sésame"})
+
+    def test_uses_constant_time_compare(self):
+        """The implementation must route through hmac.compare_digest."""
+        import unittest.mock as mock
+        auth = TokenAuth("sesame")
+        with mock.patch("repro.nb.auth.hmac.compare_digest",
+                        wraps=__import__("hmac").compare_digest) as cd:
+            auth.authorize(
+                "GET", "/stats", {"authorization": "Bearer sesame"})
+        cd.assert_called_once()
+
+    def test_empty_token_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            TokenAuth("")
+
+    def test_challenge(self):
+        assert TokenAuth("x").challenge() == "Bearer"
+
+
+class TestBuildAuth:
+    def test_token_builds_token_auth(self):
+        assert isinstance(build_auth("secret"), TokenAuth)
+
+    def test_no_token_allows_all(self):
+        auth = build_auth(None)
+        assert type(auth) is AuthPolicy
+        assert auth.authorize("GET", "/anything", {})

@@ -34,6 +34,23 @@ class TestCli:
         out = capsys.readouterr().out
         assert "max-rate VSF" in out
 
+    def test_serve_port_zero_binds_ephemeral(self, capsys):
+        """Regression: ``--port 0`` must bind an OS-assigned port and
+        print the *resolved* port, never the literal 0 -- CI runs
+        several servers back to back and must not collide."""
+        import re
+
+        assert main(["serve", "--port", "0", "--smoke",
+                     "--smoke-items", "2"]) == 0
+        out = capsys.readouterr().out
+        match = re.search(r"northbound server on http://([\d.]+):(\d+)",
+                          out)
+        assert match, out
+        port = int(match.group(2))
+        assert port != 0
+        # The curl hints advertise the same resolved port.
+        assert f"curl http://{match.group(1)}:{port}/v1/info" in out
+
     def test_serve_smoke(self, capsys, tmp_path):
         import json
 
