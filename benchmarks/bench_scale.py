@@ -12,8 +12,9 @@ from __future__ import annotations
 
 from conftest import print_table, run_once
 
-from repro.cluster import ClusterConfig, run_cluster
+from repro.cluster import ClusterConfig, ClusterRuntime, run_cluster
 from repro.perf import _percentile, sample_tti_walltime
+from repro.sim.chaos import ClusterChaosHarness, WorkerKillAt
 from repro.sim.scenarios import large_scale
 
 N_ENBS = 32
@@ -79,3 +80,39 @@ def test_scale_cluster_per_tti_walltime(benchmark):
     assert report.rib_ues == CLUSTER_ENBS * CLUSTER_UES_PER_ENB
     # The credit scheme bounded shard skew to the window.
     assert report.max_lead_ttis <= 32
+
+
+def run_respawn_case():
+    """SIGKILL one worker mid-run; time the supervisor's recovery."""
+    config = ClusterConfig(
+        workers=2, n_enbs=CLUSTER_ENBS, ues_per_enb=CLUSTER_UES_PER_ENB,
+        total_ttis=CLUSTER_TTIS, window=32, respawn_backoff_s=0.01)
+    with ClusterRuntime(config).start() as runtime:
+        harness = ClusterChaosHarness(
+            [WorkerKillAt(CLUSTER_TTIS // 3, 1)], max_respawns=1)
+        runtime.attach_chaos(harness)
+        report = runtime.run()
+        chaos = harness.check(runtime, report)
+    return report, chaos
+
+
+def test_scale_cluster_respawn_recovery(benchmark):
+    report, chaos = run_once(benchmark, run_respawn_case)
+    latency_ms = [s * 1e3 for s in report.respawn_latency_s]
+    print_table(
+        "Sharded scale -- respawn recovery: one worker SIGKILLed a "
+        "third of the way in; the supervisor's snapshot handoff must "
+        "put the fleet back on the air (latency = detect-to-respawned, "
+        "excluding the replacement's rebuild)",
+        ["workers", "TTIs", "respawns", "respawn ms", "degraded",
+         "wall s"],
+        [[report.workers, report.total_ttis, report.respawns,
+          _percentile(sorted(latency_ms), 50) if latency_ms else 0.0,
+          len(report.degraded_shards), report.wall_s]])
+
+    # Self-healing, not degradation: one respawn, full census.
+    assert report.respawns == 1
+    assert report.degraded_shards == []
+    assert report.rib_agents == CLUSTER_ENBS
+    assert report.rib_ues == CLUSTER_ENBS * CLUSTER_UES_PER_ENB
+    assert chaos.ok, [v.detail for v in chaos.violations]

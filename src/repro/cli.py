@@ -34,6 +34,8 @@ Sharded runtime (the ``repro.cluster`` subsystem):
 
     python -m repro cluster --workers 2            # 2-worker TCP fleet
     python -m repro cluster --sweep 1,2 --report cluster.json
+    python -m repro cluster --chaos                # kill+stall a worker,
+                                                   # assert self-healing
 
 ``trace`` runs a scenario with full instrumentation and writes a
 Chrome trace-event file (open in chrome://tracing or
@@ -466,15 +468,107 @@ def _cmd_serve(args) -> int:
         obs.disable()
 
 
+def _cluster_config(args, workers: int):
+    from repro.cluster import ClusterConfig
+
+    return ClusterConfig(
+        workers=workers, n_enbs=args.enbs,
+        ues_per_enb=args.ues_per_enb, total_ttis=args.ttis,
+        window=args.window, stall_timeout_s=args.stall_timeout,
+        respawn_budget=args.respawn_budget,
+        run_deadline_s=args.run_deadline)
+
+
+def _cmd_cluster_chaos(args) -> int:
+    """Scripted worker-kill + stall scenario against a live fleet;
+    exit 1 on any cluster invariant violation."""
+    import json
+
+    from repro import obs
+    from repro.cluster import ClusterRuntime
+    from repro.perf import environment_stamp
+    from repro.sim.chaos import (
+        ClusterChaosHarness,
+        WorkerKillAt,
+        WorkerStallWindow,
+    )
+
+    if args.workers < 2:
+        print("--chaos needs at least 2 workers (one to fail, one to "
+              "keep the fleet honest)", file=sys.stderr)
+        return 2
+    config = _cluster_config(args, args.workers)
+    kill_at = max(1, args.ttis // 4)
+    stall_at = max(kill_at + 1, args.ttis // 2)
+    actions = [
+        WorkerKillAt(kill_at, config.workers - 1),
+        WorkerStallWindow(stall_at, 0,
+                          stall_s=config.stall_timeout_s * 3),
+    ]
+    harness = ClusterChaosHarness(actions)
+    ob = obs.enable(trace=False)
+    try:
+        with ClusterRuntime(config).start() as runtime:
+            runtime.attach_chaos(harness)
+            report = runtime.run()
+            chaos = harness.check(runtime, report)
+        metrics = {name: values for name, values
+                   in sorted(ob.registry.snapshot().items())
+                   if name.startswith("cluster.")}
+    finally:
+        obs.disable()
+
+    print(f"cluster chaos run: {config.workers} workers, "
+          f"{report.total_ttis} TTIs, {len(chaos.fired)} fault "
+          f"action(s) fired, {report.respawns} respawn(s), "
+          f"degraded shards {report.degraded_shards or 'none'}")
+    for low, desc in chaos.fired:
+        print(f"  low-water {low:>5}: {desc}")
+    for failure in report.failures:
+        print(f"  t+{failure['at_s']:.3f}s shard "
+              f"{failure['shard_id']} [{failure['cause']}] "
+              f"-> {failure['action']}")
+    if report.respawn_latency_s:
+        worst = max(report.respawn_latency_s) * 1e3
+        print(f"  respawn latency: worst {worst:.0f} ms over "
+              f"{len(report.respawn_latency_s)} respawn(s)")
+
+    if args.report:
+        doc = {"schema": "repro.cluster.chaos/1",
+               "env": environment_stamp(),
+               "enbs": args.enbs, "ues_per_enb": args.ues_per_enb,
+               "total_ttis": args.ttis,
+               "stall_timeout_s": config.stall_timeout_s,
+               "respawn_budget": config.respawn_budget,
+               "cluster": report.to_dict(),
+               "chaos": chaos.to_dict(),
+               "metrics": metrics}
+        with open(args.report, "w", encoding="utf-8") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        print(f"wrote {args.report}")
+
+    if chaos.violations:
+        print(f"CLUSTER INVARIANT VIOLATIONS "
+              f"({len(chaos.violations)}):", file=sys.stderr)
+        for v in chaos.violations[:20]:
+            print(f"  [{v.invariant}] {v.detail}", file=sys.stderr)
+        return 1
+    print("all cluster invariants held")
+    return 0
+
+
 def _cmd_cluster(args) -> int:
     """Run the sharded multi-process runtime, optionally sweeping
     worker counts and gating on scaling speedups."""
     import json
     import os
 
-    from repro.cluster import ClusterConfig, run_cluster
+    from repro.cluster import run_cluster
     from repro.perf import environment_stamp
 
+    if args.chaos:
+        return _cmd_cluster_chaos(args)
     worker_counts = ([int(w) for w in args.sweep.split(",")]
                      if args.sweep else [args.workers])
     gates = {}
@@ -488,10 +582,7 @@ def _cmd_cluster(args) -> int:
 
     runs = []
     for workers in worker_counts:
-        config = ClusterConfig(
-            workers=workers, n_enbs=args.enbs,
-            ues_per_enb=args.ues_per_enb, total_ttis=args.ttis,
-            window=args.window)
+        config = _cluster_config(args, workers)
         report = run_cluster(config)
         entry = report.to_dict()
         entry["speedup"] = round(
@@ -631,7 +722,22 @@ def main(argv=None) -> int:
                               "vs the 1-worker run; skipped when the "
                               "machine has fewer cores than workers)")
     cluster.add_argument("--report", default="",
-                         help="write the scaling report JSON here")
+                         help="write the scaling (or chaos) report "
+                              "JSON here")
+    cluster.add_argument("--chaos", action="store_true",
+                         help="scripted worker-kill + stall scenario; "
+                              "exit 1 on any cluster invariant "
+                              "violation")
+    cluster.add_argument("--stall-timeout", type=float, default=10.0,
+                         help="seconds of silence (with unspent "
+                              "credit) before the stall watchdog "
+                              "fires")
+    cluster.add_argument("--respawn-budget", type=int, default=3,
+                         help="respawns per shard before it is "
+                              "quarantined (degraded mode)")
+    cluster.add_argument("--run-deadline", type=float, default=120.0,
+                         help="fail-fast run deadline in seconds "
+                              "(0 disables)")
     args = parser.parse_args(argv)
 
     if args.command == "info":

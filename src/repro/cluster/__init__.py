@@ -14,16 +14,30 @@ from repro.cluster.runtime import (
     ClusterRuntime,
     run_cluster,
 )
+from repro.cluster.supervise import (
+    FAILURE_CAUSES,
+    ClusterDeadlineError,
+    ShardFailure,
+    ShardSupervisor,
+    SupervisionPolicy,
+    backoff_delay,
+)
 from repro.cluster.worker import WorkerSpec, build_shard_sim, worker_main
 
 __all__ = [
+    "FAILURE_CAUSES",
     "ClusterConfig",
+    "ClusterDeadlineError",
     "ClusterReport",
     "ClusterRuntime",
     "CreditScheduler",
+    "ShardFailure",
     "ShardMap",
     "ShardSpec",
+    "ShardSupervisor",
+    "SupervisionPolicy",
     "WorkerSpec",
+    "backoff_delay",
     "build_shard_sim",
     "plan_shards",
     "run_cluster",

@@ -41,7 +41,14 @@ class CreditScheduler:
         self._granted: Dict[int, int] = {s: 0 for s in self._progress}
 
     def low_water(self) -> int:
-        """Completed-TTI count every shard has reached."""
+        """Completed-TTI count every live shard has reached.
+
+        With every shard removed (a fully quarantined fleet) the bound
+        is vacuous, so the low-water mark jumps to ``total_ttis`` --
+        the master may finish its ticks instead of waiting forever.
+        """
+        if not self._progress:
+            return self.total_ttis
         return min(self._progress.values())
 
     def progress(self, shard_id: int) -> int:
@@ -53,6 +60,8 @@ class CreditScheduler:
         Progress is monotonic per shard except through
         :meth:`reset_shard` (a respawned worker restarts at zero).
         """
+        if shard_id not in self._progress:
+            return  # straggler report from a removed (quarantined) shard
         if completed < self._progress[shard_id]:
             raise ValueError(
                 f"shard {shard_id} progress went backwards: "
@@ -69,6 +78,17 @@ class CreditScheduler:
         """
         self._progress[shard_id] = 0
         self._granted[shard_id] = 0
+
+    def remove_shard(self, shard_id: int) -> None:
+        """Quarantine: stop counting *shard_id* entirely.
+
+        The low-water mark (and therefore everyone's grants and the
+        master's tick target) is computed over the remaining shards, so
+        an unrecoverable shard no longer pins the fleet -- degraded
+        mode completes without it.  Removal is idempotent.
+        """
+        self._progress.pop(shard_id, None)
+        self._granted.pop(shard_id, None)
 
     def grants(self) -> List[Tuple[int, int]]:
         """New ``(shard_id, grant)`` pairs since the last call.
@@ -91,6 +111,12 @@ class CreditScheduler:
     def all_done(self) -> bool:
         return all(p >= self.total_ttis for p in self._progress.values())
 
+    def shard_ids(self) -> List[int]:
+        """Live (non-removed) shard ids."""
+        return sorted(self._progress)
+
     def max_lead(self) -> int:
         """How far the fastest shard is ahead of the slowest."""
+        if not self._progress:
+            return 0
         return max(self._progress.values()) - self.low_water()

@@ -17,6 +17,12 @@ the barrier-free credit pump:
 
 Everything protocol-level rides the TCP data plane; the pipes carry
 only scheduler tuples.
+
+Shard failures are the :class:`~repro.cluster.supervise.ShardSupervisor`'s
+business: the pump feeds it every detection signal (pipe EOF, worker
+errors) and runs its poll each iteration, so a killed or stalled
+worker is respawned -- or, past its budget, quarantined into degraded
+mode -- instead of aborting or hanging the fleet.
 """
 
 from __future__ import annotations
@@ -28,8 +34,15 @@ import time
 from dataclasses import asdict, dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs as _obs
 from repro.cluster.credits import CreditScheduler
 from repro.cluster.partition import ShardMap, ShardSpec, plan_shards
+from repro.cluster.supervise import (
+    FAIL_PIPE_EOF,
+    FAIL_WORKER_ERROR,
+    ShardSupervisor,
+    SupervisionPolicy,
+)
 from repro.cluster.worker import (
     PROGRESS_CHUNK_TTIS,
     WorkerSpec,
@@ -69,6 +82,12 @@ class ClusterConfig:
     host: str = "127.0.0.1"
     seed: int = 0
     realtime_master: bool = True
+    # Supervision knobs (see repro.cluster.supervise).
+    stall_timeout_s: float = 10.0
+    respawn_budget: int = 3
+    respawn_backoff_s: float = 0.05
+    respawn_backoff_cap_s: float = 2.0
+    run_deadline_s: float = 120.0
 
 
 @dataclass
@@ -89,9 +108,18 @@ class ClusterReport:
     agents_accepted: int
     worker_busy_s: List[float] = field(default_factory=list)
     fleet_samples_us: List[float] = field(default_factory=list)
+    degraded_shards: List[int] = field(default_factory=list)
+    failures: List[dict] = field(default_factory=list)
+    respawn_latency_s: List[float] = field(default_factory=list)
+    stall_seconds: float = 0.0
 
     def to_dict(self) -> dict:
         return asdict(self)
+
+    @property
+    def degraded(self) -> bool:
+        """True when at least one shard was quarantined."""
+        return bool(self.degraded_shards)
 
 
 class _ShardHandle:
@@ -103,6 +131,7 @@ class _ShardHandle:
         self.pipe = pipe
         self.done = False
         self.ready = False
+        self.quarantined = False
         self.busy_s = 0.0
 
 
@@ -135,6 +164,19 @@ class ClusterRuntime:
         self._low_water_mark = 0
         self._low_water_stamp: Optional[float] = None
         self._scheduled_respawns: List[Tuple[int, int]] = []
+        self.supervisor = ShardSupervisor(self, SupervisionPolicy(
+            stall_timeout_s=config.stall_timeout_s,
+            respawn_budget=config.respawn_budget,
+            backoff_base_s=config.respawn_backoff_s,
+            backoff_cap_s=config.respawn_backoff_cap_s,
+            run_deadline_s=config.run_deadline_s))
+        self._chaos = None
+
+    def attach_chaos(self, harness) -> None:
+        """Ride a :class:`~repro.sim.chaos.ClusterChaosHarness` on the
+        pump: its due actions fire once per pump iteration, keyed on
+        the fleet low-water mark (same basis as scheduled respawns)."""
+        self._chaos = harness
 
     # -- transport-side callbacks (hub loop thread) ------------------------
 
@@ -170,6 +212,7 @@ class ClusterRuntime:
             report_chunk=self.config.report_chunk)
         process, pipe = spawn_worker(self._ctx, worker_spec)
         self._handles[spec.shard_id] = _ShardHandle(spec, process, pipe)
+        self.supervisor.note_activity(spec.shard_id)
 
     def close(self) -> None:
         for handle in self._handles.values():
@@ -204,6 +247,7 @@ class ClusterRuntime:
         """
         config = self.config
         self._wait_fleet_ready()
+        self.supervisor.start_run()
         started = time.perf_counter()
         self._low_water_stamp = started
         for shard_id, grant in self.credits.grants():
@@ -211,7 +255,10 @@ class ClusterRuntime:
         while True:
             worked = self._adopt_pending()
             worked |= self._poll_workers()
+            worked |= self.supervisor.poll()
             self._fire_scheduled_respawns()
+            if self._chaos is not None:
+                self._chaos.on_pump(self)
             for shard_id, grant in self.credits.grants():
                 self._send_grant(shard_id, grant)
             target = self.credits.low_water()
@@ -244,16 +291,26 @@ class ClusterRuntime:
                              if self.server else 0),
             worker_busy_s=[self._handles[s].busy_s
                            for s in sorted(self._handles)],
-            fleet_samples_us=list(self._fleet_samples_us))
+            fleet_samples_us=list(self._fleet_samples_us),
+            degraded_shards=sorted(self.supervisor.quarantined),
+            failures=[f.to_dict() for f in self.supervisor.failures],
+            respawn_latency_s=list(self.supervisor.respawn_latency_s),
+            stall_seconds=round(self.supervisor.stall_seconds, 3))
 
     def _wait_fleet_ready(self, *, timeout: float = 120.0) -> None:
         """Block until every worker is built and every agent adopted."""
         deadline = time.monotonic() + timeout
-        total_agents = len(self.shard_map.all_agent_ids())
         while True:
             self._poll_workers()
             self._adopt_pending()
-            if (all(h.ready for h in self._handles.values())
+            # Liveness only (the stall watchdog and run deadline arm at
+            # start_run): a worker that dies while building its shard
+            # is respawned here instead of burning the whole timeout.
+            self.supervisor.poll()
+            live = [h for h in self._handles.values()
+                    if not h.quarantined]
+            total_agents = sum(len(h.spec.agent_ids) for h in live)
+            if (all(h.ready for h in live)
                     and len(self.master.agent_endpoints())
                     >= total_agents):
                 return
@@ -268,16 +325,29 @@ class ClusterRuntime:
 
     def _send_grant(self, shard_id: int, grant: int) -> None:
         handle = self._handles[shard_id]
+        if handle.quarantined:
+            return
         try:
             handle.pipe.send(("grant", grant))
         except (OSError, BrokenPipeError):
-            logger.warning("cluster: shard %d pipe is gone", shard_id)
+            # A broken grant pipe is a failure signal, not log noise:
+            # feed the supervisor so the shard is healed or quarantined.
+            self.supervisor.note_failure(
+                shard_id, FAIL_PIPE_EOF,
+                f"grant pipe broken (grant={grant})")
 
     def _adopt_pending(self) -> bool:
         """Connect agents whose TCP sessions arrived since last tick."""
         with self._pending_lock:
             pending, self._pending_agents = self._pending_agents, []
         for agent_id, endpoint in pending:
+            owner = self.shard_map.owner(agent_id)
+            if self._handles[owner.shard_id].quarantined:
+                # A quarantined shard's straggler connection (e.g. its
+                # worker died between dialing and the quarantine
+                # decision) must not re-enter the census.
+                endpoint.close()
+                continue
             if agent_id in self.master.agent_endpoints():
                 # A respawned shard's agent reconnecting: swap the
                 # dead socket's endpoint for the live one.
@@ -294,28 +364,42 @@ class ClusterRuntime:
 
     def _poll_workers(self) -> bool:
         worked = False
-        for shard_id, handle in self._handles.items():
-            while handle.pipe.poll():
-                worked = True
+        for shard_id, handle in list(self._handles.items()):
+            if handle.quarantined:
+                continue
+            while True:
                 try:
+                    if not handle.pipe.poll():
+                        break
                     message = handle.pipe.recv()
-                except (EOFError, OSError):
-                    handle.done = True
+                except (EOFError, OSError, BrokenPipeError):
+                    # A vanished worker (SIGKILL sends no error message)
+                    # must NOT mark the shard done: its credits would
+                    # never complete and the pump would spin forever.
+                    # Classify the EOF and let the supervisor heal it.
+                    self.supervisor.note_failure(
+                        shard_id, FAIL_PIPE_EOF,
+                        "control pipe EOF (worker vanished)")
                     break
+                worked = True
                 kind = message[0]
                 if kind == "ready":
                     handle.ready = True
+                    self.supervisor.note_activity(shard_id)
                 elif kind == "progress":
                     self.credits.report(shard_id, int(message[1]))
                     handle.busy_s += float(message[2])
+                    self.supervisor.note_activity(shard_id)
                     self._note_low_water()
                 elif kind == "done":
                     self.credits.report(shard_id, int(message[1]))
                     handle.done = True
+                    self.supervisor.note_activity(shard_id)
                     self._note_low_water()
                 elif kind == "error":
-                    raise RuntimeError(
-                        f"shard {shard_id} failed: {message[1]}")
+                    self.supervisor.note_failure(
+                        shard_id, FAIL_WORKER_ERROR, str(message[1]))
+                    break
         return worked
 
     def _note_low_water(self) -> None:
@@ -368,7 +452,16 @@ class ClusterRuntime:
 
         Returns the agent ids handed over.
         """
+        if self.server is None:
+            # Not an assert: those vanish under ``python -O`` and this
+            # is a real runtime precondition, not a debugging aid.
+            raise RuntimeError(
+                "cluster transport server is not running; start() the "
+                "runtime before respawning shards")
         handle = self._handles[shard_id]
+        if handle.quarantined:
+            raise RuntimeError(
+                f"shard {shard_id} is quarantined; it cannot respawn")
         spec = handle.spec
         subset = snapshot_rib_subset(self.master.rib, spec.agent_ids)
         handle.process.terminate()
@@ -379,15 +472,55 @@ class ClusterRuntime:
             self.master.rib.remove_agent(agent_id)
         merged = merge_rib_subset(self.master.rib, subset)
         self.credits.reset_shard(shard_id)
-        assert self.server is not None
         self._spawn(spec, self.server.host, self.server.port)
         for sid, grant in self.credits.grants():
             if sid == shard_id:
                 self._send_grant(sid, grant)
         self.respawns += 1
+        ob = _obs.get()
+        if ob.enabled:
+            ob.registry.counter("cluster.respawns").inc()
         logger.warning("cluster: respawned shard %d (agents %s)",
                        shard_id, list(spec.agent_ids))
         return merged
+
+    def quarantine_shard(self, shard_id: int) -> List[int]:
+        """Degraded mode: give up on one shard so the rest can finish.
+
+        The worker process is reaped, the shard leaves the credit
+        scheduler (the low-water mark -- and with it every grant and
+        the master's tick target -- is computed over the survivors),
+        and its agents are disconnected and dropped from the RIB so the
+        post-run census reflects exactly the fleet that completed.
+        Idempotent.  Returns the agent ids removed.
+        """
+        handle = self._handles[shard_id]
+        if handle.quarantined:
+            return []
+        handle.quarantined = True
+        handle.done = True
+        try:
+            handle.process.terminate()
+            handle.process.join(5.0)
+        except (OSError, ValueError):
+            pass  # already dead or reaped
+        try:
+            handle.pipe.close()
+        except OSError:
+            pass
+        removed: List[int] = []
+        connected = self.master.agent_endpoints()
+        for agent_id in handle.spec.agent_ids:
+            if agent_id in connected:
+                self.master.disconnect_agent(agent_id)
+            self.master.rib.remove_agent(agent_id)
+            removed.append(agent_id)
+        self.credits.remove_shard(shard_id)
+        logger.error(
+            "cluster: shard %d quarantined; fleet degraded to shards "
+            "%s (agents %s dropped)", shard_id,
+            self.credits.shard_ids(), removed)
+        return removed
 
 
 def run_cluster(config: ClusterConfig) -> ClusterReport:

@@ -98,6 +98,11 @@ def worker_main(spec: WorkerSpec, pipe) -> None:
                 message = pipe.recv()  # blocks: out of credit
                 if message[0] == "grant":
                     granted = max(granted, int(message[1]))
+                elif message[0] == "stall":
+                    # Chaos hook: go silent (no progress reports) for
+                    # the scripted window -- exercises the master-side
+                    # stall watchdog against a live-but-wedged worker.
+                    time.sleep(float(message[1]))
                 elif message[0] == "stop":
                     stop = True
             if stop:
@@ -112,6 +117,8 @@ def worker_main(spec: WorkerSpec, pipe) -> None:
                 message = pipe.recv()
                 if message[0] == "grant":
                     granted = max(granted, int(message[1]))
+                elif message[0] == "stall":
+                    time.sleep(float(message[1]))
                 elif message[0] == "stop":
                     stop = True
             pipe.send(("progress", done, elapsed))

@@ -19,13 +19,23 @@ platform invariants every single TTI:
 Fault actions compose freely with the link faults of
 :class:`~repro.sim.scenarios.FaultSpec` (losses, jitter, partitions
 installed on the control connections before the run).
+
+The harness also scales out: the **cluster chaos** section at the
+bottom scripts process-level faults against a sharded
+:class:`~repro.cluster.runtime.ClusterRuntime` fleet --
+:class:`WorkerKillAt` (SIGKILL, no error message on any pipe),
+:class:`WorkerStallWindow` (a live-but-silent worker) and
+:class:`TcpDisconnectAt` (the data plane drops under a healthy
+process) -- and checks fleet-level invariants after the run: the fleet
+completes, the respawn count stays within budget, and the post-run RIB
+census matches the shard map minus quarantined shards.
 """
 
 from __future__ import annotations
 
 import abc
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import obs as _obs
@@ -340,3 +350,225 @@ class ChaosHarness:
         self._prev_runs = {
             reg.app.name: reg.runs
             for reg in master.registry.registrations()}
+
+
+# ---------------------------------------------------------------------------
+# Cluster chaos: process-level faults against a sharded worker fleet
+# ---------------------------------------------------------------------------
+
+
+class ClusterChaosAction(abc.ABC):
+    """One scripted fault against a :class:`ClusterRuntime` fleet.
+
+    ``fire`` runs on the master's pump thread once per pump iteration
+    with the current fleet low-water TTI (the same scheduling basis as
+    ``ClusterRuntime.schedule_respawn``); it returns a description the
+    first time it actually fires, then never again.
+    """
+
+    @abc.abstractmethod
+    def fire(self, runtime, low_water: int) -> Optional[str]:
+        """Fire if due; a description when the fault was injected."""
+
+
+@dataclass
+class WorkerKillAt(ClusterChaosAction):
+    """SIGKILL one shard's worker at a fleet low-water TTI.
+
+    SIGKILL is the silent death: the worker gets no chance to send an
+    ``error`` tuple, so the master sees only a dead process and a pipe
+    EOF -- exactly the failure mode that used to deadlock the pump.
+    """
+
+    at_low_water_tti: int
+    shard_id: int
+    fired: bool = field(default=False, repr=False)
+
+    def fire(self, runtime, low_water: int) -> Optional[str]:
+        if self.fired or low_water < self.at_low_water_tti:
+            return None
+        self.fired = True
+        runtime._handles[self.shard_id].process.kill()
+        return (f"SIGKILLed shard {self.shard_id} worker at "
+                f"low-water {low_water}")
+
+
+@dataclass
+class WorkerStallWindow(ClusterChaosAction):
+    """Wedge one worker -- alive but silent -- for ``stall_s`` seconds.
+
+    Sent over the control pipe; the worker sleeps without reporting
+    progress, which is indistinguishable (from the master's side) from
+    a worker stuck in an infinite loop.  The supervisor's low-water
+    stall watchdog must detect it and respawn the shard.
+    """
+
+    at_low_water_tti: int
+    shard_id: int
+    stall_s: float = 5.0
+    fired: bool = field(default=False, repr=False)
+
+    def fire(self, runtime, low_water: int) -> Optional[str]:
+        if self.fired or low_water < self.at_low_water_tti:
+            return None
+        self.fired = True
+        handle = runtime._handles[self.shard_id]
+        try:
+            handle.pipe.send(("stall", self.stall_s))
+        except (OSError, BrokenPipeError):
+            return (f"stall for shard {self.shard_id} undeliverable "
+                    f"(pipe already gone)")
+        return (f"stalled shard {self.shard_id} worker for "
+                f"{self.stall_s:.1f}s at low-water {low_water}")
+
+
+@dataclass
+class TcpDisconnectAt(ClusterChaosAction):
+    """Drop one shard's TCP data plane while its process stays alive.
+
+    Closes the master-side sockets of every agent in the shard; the
+    worker's next frame dispatch raises ``TransportClosed``, which
+    surfaces as a worker-reported ``error`` on the control pipe.
+    """
+
+    at_low_water_tti: int
+    shard_id: int
+    fired: bool = field(default=False, repr=False)
+
+    def fire(self, runtime, low_water: int) -> Optional[str]:
+        if self.fired or low_water < self.at_low_water_tti:
+            return None
+        self.fired = True
+        spec = runtime._handles[self.shard_id].spec
+        endpoints = runtime.master.agent_endpoints()
+        closed = []
+        for agent_id in spec.agent_ids:
+            endpoint = endpoints.get(agent_id)
+            if endpoint is not None:
+                endpoint.close()
+                closed.append(agent_id)
+        return (f"dropped TCP sessions of shard {self.shard_id} "
+                f"agents {closed} at low-water {low_water}")
+
+
+@dataclass
+class ClusterChaosReport:
+    """Outcome of a cluster chaos run (JSON-able via ``to_dict``)."""
+
+    violations: List[Violation]
+    fired: List[Tuple[int, str]]
+    respawns: int
+    degraded_shards: List[int]
+    failures: List[dict]
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def to_dict(self) -> dict:
+        return {
+            "ok": self.ok,
+            "violations": [{"tti": v.tti, "invariant": v.invariant,
+                            "detail": v.detail}
+                           for v in self.violations],
+            "fired": [{"low_water_tti": tti, "action": desc}
+                      for tti, desc in self.fired],
+            "respawns": self.respawns,
+            "degraded_shards": list(self.degraded_shards),
+            "failures": list(self.failures),
+        }
+
+
+class ClusterChaosHarness:
+    """Scripted process-level faults + fleet invariants for a
+    :class:`~repro.cluster.runtime.ClusterRuntime`.
+
+    Attach with ``runtime.attach_chaos(harness)`` before ``run()``;
+    call :meth:`check` with the finished run's report.  Invariants:
+
+    * ``fleet_completes`` -- every non-quarantined shard finished all
+      its TTIs and the master ticked through the whole run (no hang,
+      no fleet-wide abort);
+    * ``respawns_bounded`` -- the total respawn count never exceeds
+      the fleet-wide budget (``max_respawns`` overrides the default
+      ``shards x per-shard budget`` bound);
+    * ``census`` -- the post-run RIB holds exactly the agents and UEs
+      of the shard map minus quarantined shards.
+    """
+
+    def __init__(self, actions: Sequence[ClusterChaosAction] = (), *,
+                 max_respawns: Optional[int] = None) -> None:
+        self.actions = list(actions)
+        self.max_respawns = max_respawns
+        self.fired: List[Tuple[int, str]] = []
+
+    def on_pump(self, runtime) -> None:
+        """Pump-thread hook: fire every due action once."""
+        low = runtime.credits.low_water()
+        for action in self.actions:
+            desc = action.fire(runtime, low)
+            if desc:
+                self.fired.append((low, desc))
+                ob = _obs.get()
+                if ob.enabled:
+                    ob.registry.counter("cluster.chaos.actions").inc()
+
+    def check(self, runtime, report) -> ClusterChaosReport:
+        """Post-run invariant sweep; violations use the run-end TTI."""
+        violations: List[Violation] = []
+        end_tti = report.total_ttis
+
+        def violate(invariant: str, detail: str) -> None:
+            violations.append(Violation(end_tti, invariant, detail))
+            ob = _obs.get()
+            if ob.enabled:
+                ob.registry.counter("cluster.chaos.violations").inc()
+                ob.registry.counter(
+                    "cluster.chaos.violations." + invariant).inc()
+
+        quarantined = set(report.degraded_shards)
+        live = [s for s in runtime.shard_map.shards
+                if s.shard_id not in quarantined]
+
+        # 1. The surviving fleet completed -- no hang, no abort.
+        for spec in live:
+            done = runtime.credits.progress(spec.shard_id)
+            if done < report.total_ttis:
+                violate("fleet_completes",
+                        f"shard {spec.shard_id} finished only "
+                        f"{done}/{report.total_ttis} TTIs")
+        if report.master_ttis < report.total_ttis:
+            violate("fleet_completes",
+                    f"master ticked only {report.master_ttis}/"
+                    f"{report.total_ttis} TTIs")
+
+        # 2. Self-healing stayed within its budget.
+        bound = (self.max_respawns if self.max_respawns is not None
+                 else len(runtime.shard_map.shards)
+                 * runtime.config.respawn_budget)
+        if report.respawns > bound:
+            violate("respawns_bounded",
+                    f"{report.respawns} respawns exceed the bound of "
+                    f"{bound}")
+
+        # 3. The RIB census is the shard map minus quarantined shards.
+        expected_agents = sorted(
+            a for s in live for a in s.agent_ids)
+        rib_agents = runtime.master.rib.agent_ids()
+        if rib_agents != expected_agents:
+            violate("census",
+                    f"RIB agents {rib_agents} != expected "
+                    f"{expected_agents} (quarantined shards "
+                    f"{sorted(quarantined)})")
+        expected_ues = sum(
+            s.ues_per_enb * len(s.agent_ids) for s in live)
+        rib_ues = runtime.master.rib.ue_count()
+        if rib_ues != expected_ues:
+            violate("census",
+                    f"RIB UEs {rib_ues} != expected {expected_ues}")
+
+        return ClusterChaosReport(
+            violations=violations, fired=list(self.fired),
+            respawns=report.respawns,
+            degraded_shards=sorted(quarantined),
+            failures=list(report.failures))

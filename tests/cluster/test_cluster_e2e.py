@@ -9,6 +9,12 @@ cluster benchmark, not here.
 import pytest
 
 from repro.cluster import ClusterConfig, ClusterRuntime, run_cluster
+from repro.sim.chaos import (
+    ClusterChaosHarness,
+    TcpDisconnectAt,
+    WorkerKillAt,
+    WorkerStallWindow,
+)
 
 pytestmark = pytest.mark.slow
 
@@ -59,3 +65,108 @@ class TestClusterEndToEnd:
         assert report.rib_agents == 4
         assert report.rib_ues == 24
         assert report.master_ttis >= config.total_ttis
+
+
+def healing_config(**overrides):
+    """Small fleet with snappy supervision for the failure tests."""
+    defaults = dict(
+        workers=2, n_enbs=4, ues_per_enb=6, total_ttis=160,
+        window=24, realtime_master=False, respawn_backoff_s=0.01,
+        run_deadline_s=60.0)
+    defaults.update(overrides)
+    return ClusterConfig(**defaults)
+
+
+def run_with_chaos(config, actions, **harness_kwargs):
+    with ClusterRuntime(config).start() as runtime:
+        harness = ClusterChaosHarness(actions, **harness_kwargs)
+        runtime.attach_chaos(harness)
+        report = runtime.run()
+        chaos = harness.check(runtime, report)
+    return report, chaos
+
+
+class TestClusterSelfHealing:
+    def test_sigkilled_worker_is_respawned_and_fleet_completes(self):
+        """The silent-death case: SIGKILL sends no error tuple, so the
+        master sees only a dead process / pipe EOF.  The supervisor
+        must classify it and respawn -- previously this deadlocked the
+        credit pump forever."""
+        config = healing_config()
+        report, chaos = run_with_chaos(
+            config, [WorkerKillAt(40, 1)], max_respawns=1)
+        assert report.respawns == 1
+        assert report.degraded_shards == []
+        assert not report.degraded
+        # SIGKILL races its two detectors; either classification is
+        # correct, but there must be exactly one fresh failure.
+        assert len(report.failures) == 1
+        assert report.failures[0]["cause"] in (
+            "pipe_eof", "process_death")
+        assert report.failures[0]["action"] == "respawn"
+        # Full census: the replacement reconnected all of shard 1.
+        assert report.rib_agents == 4
+        assert report.rib_ues == 24
+        assert report.master_ttis >= config.total_ttis
+        assert len(report.respawn_latency_s) == 1
+        assert chaos.ok, chaos.to_dict()
+
+    def test_budget_exhausted_shard_degrades_instead_of_hanging(self):
+        """With a zero respawn budget the killed shard is quarantined:
+        the survivors finish, the census shrinks to match, and the run
+        terminates well inside its deadline."""
+        config = healing_config(respawn_budget=0)
+        report, chaos = run_with_chaos(config, [WorkerKillAt(40, 1)])
+        assert report.respawns == 0
+        assert report.degraded_shards == [1]
+        assert report.degraded
+        assert report.failures[0]["action"] == "quarantine"
+        # Census is the shard map minus the quarantined shard.
+        assert report.rib_agents == 2
+        assert report.rib_ues == 12
+        assert report.master_ttis >= config.total_ttis
+        assert report.wall_s < config.run_deadline_s
+        assert chaos.ok, chaos.to_dict()
+
+    def test_stall_watchdog_respawns_a_wedged_worker(self):
+        """A live-but-silent worker (holding unspent credit) trips the
+        low-water stall watchdog and is replaced."""
+        config = healing_config(stall_timeout_s=0.6)
+        report, chaos = run_with_chaos(
+            config, [WorkerStallWindow(60, 0, stall_s=30.0)])
+        assert any(f["cause"] == "stall" for f in report.failures)
+        assert report.respawns >= 1
+        assert report.stall_seconds > 0
+        assert report.degraded_shards == []
+        assert report.rib_agents == 4
+        assert report.rib_ues == 24
+        assert report.master_ttis >= config.total_ttis
+        assert chaos.ok, chaos.to_dict()
+
+    def test_tcp_disconnect_heals_through_worker_error_path(self):
+        """Dropping a shard's data plane makes its worker raise
+        TransportClosed -- a *reported* error, the third detector."""
+        config = healing_config()
+        report, chaos = run_with_chaos(config, [TcpDisconnectAt(40, 1)])
+        assert report.respawns >= 1
+        # The worker usually gets its error tuple out before dying,
+        # but losing that race to the liveness poll is still a valid
+        # classification.
+        assert report.failures[0]["cause"] in (
+            "worker_error", "pipe_eof", "process_death")
+        assert report.degraded_shards == []
+        assert report.rib_agents == 4
+        assert report.rib_ues == 24
+        assert report.master_ttis >= config.total_ttis
+        assert chaos.ok, chaos.to_dict()
+
+    def test_chaos_report_is_json_able(self):
+        import json
+
+        config = healing_config()
+        report, chaos = run_with_chaos(
+            config, [WorkerKillAt(30, 0)], max_respawns=2)
+        payload = json.loads(json.dumps(chaos.to_dict()))
+        assert payload["ok"] is True
+        assert payload["respawns"] == report.respawns
+        assert payload["fired"], "the kill action never fired"

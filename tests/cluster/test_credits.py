@@ -85,3 +85,48 @@ class TestCreditScheduler:
             CreditScheduler(10, 0, [0])
         with pytest.raises(ValueError):
             CreditScheduler(10, 5, [])
+
+
+class TestRemoveShard:
+    """Quarantine support: a removed shard stops pinning the fleet."""
+
+    def test_low_water_recomputed_over_survivors(self):
+        credits = CreditScheduler(100, 10, [0, 1])
+        credits.grants()
+        credits.report(0, 7)  # shard 1 stuck at 0 pins the low water
+        assert credits.low_water() == 0
+        credits.remove_shard(1)
+        assert credits.low_water() == 7
+        assert credits.shard_ids() == [0]
+        # The survivor's grant extends past the dead shard's stall.
+        assert dict(credits.grants()) == {0: 17}
+
+    def test_all_done_ignores_removed_shards(self):
+        credits = CreditScheduler(20, 10, [0, 1])
+        credits.report(0, 20)
+        assert not credits.all_done()
+        credits.remove_shard(1)
+        assert credits.all_done()
+
+    def test_removing_every_shard_unpins_the_master(self):
+        """A fully quarantined fleet must not hang the master's tick
+        loop: the vacuous low-water mark jumps to the run total."""
+        credits = CreditScheduler(50, 10, [0])
+        credits.remove_shard(0)
+        assert credits.low_water() == 50
+        assert credits.all_done()
+        assert credits.max_lead() == 0
+        assert credits.grants() == []
+
+    def test_straggler_report_from_removed_shard_ignored(self):
+        credits = CreditScheduler(100, 10, [0, 1])
+        credits.remove_shard(1)
+        credits.report(1, 42)  # no KeyError, no resurrection
+        assert credits.shard_ids() == [0]
+        assert credits.low_water() == 0
+
+    def test_remove_is_idempotent(self):
+        credits = CreditScheduler(100, 10, [0, 1])
+        credits.remove_shard(1)
+        credits.remove_shard(1)
+        assert credits.shard_ids() == [0]
