@@ -280,8 +280,11 @@ class FlexRanAgent:
                             self.agent_id, module.name, operation, name)
         # Re-announce so the master resynchronizes configuration even if
         # the reconnect was triggered by inbound traffic rather than one
-        # of our Hello probes.
+        # of our Hello probes.  Reports restart from a full snapshot:
+        # any delta replies lost during the outage must not leave the
+        # master's RIB permanently behind.
         self._hello_sent = False
+        self.reports.force_full()
 
     def dispatch(self, message: FlexRanMessage, now: int) -> None:
         """Route one protocol message to its handler (message handler

@@ -38,6 +38,11 @@ class AgentDataPlaneApi:
     def __init__(self, enb: EnodeB) -> None:
         self._enb = enb
         self._handover_executor: Optional[HandoverExecutor] = None
+        # Last reported channel observations per RNTI, used by
+        # :meth:`probe_channel_changes` to fold purely channel-driven
+        # report changes (SINR drift, neighbor CQI) into the eNodeB's
+        # change-sequence machinery.
+        self._channel_probe: dict = {}
 
     @property
     def enb_id(self) -> int:
@@ -81,14 +86,74 @@ class AgentDataPlaneApi:
 
     # -- statistics (asynchronous request/reply, Table 1 row 2) ----------
 
-    def get_ue_stats(self, tti: int) -> List[UeStatsReport]:
-        """Full per-UE statistics snapshot (the StatsReply payload).
+    @property
+    def change_seq(self) -> int:
+        """The eNodeB's monotonic per-UE state change sequence."""
+        return self._enb.change_seq
+
+    def ue_change_seqs(self) -> dict:
+        """Snapshot of ``rnti -> last change sequence`` for delta
+        reporting (see :meth:`repro.lte.enodeb.EnodeB.ue_change_seq`)."""
+        return dict(self._enb._ue_seq)
+
+    def probe_channel_changes(self, tti: int) -> None:
+        """Fold channel-driven report changes into the change sequence.
+
+        The eNodeB's dirty tracking covers every *data-plane* mutation,
+        but the reported SINR and neighbor-cell CQI move with the
+        channel alone.  Called once per report TTI, this compares each
+        UE's current channel observations against the last reported
+        values and marks the UE changed when they differ -- so delta
+        replies stay exact under fading channels at the same per-UE
+        probe cost the full snapshot already paid.
+        """
+        enb = self._enb
+        cache = self._channel_probe
+        rntis = enb.rntis()
+        if len(cache) > 2 * len(rntis) + 8:
+            live = set(rntis)
+            for rnti in [r for r in cache if r not in live]:
+                del cache[rnti]
+        cache_get = cache.get
+        for rnti in rntis:
+            ue = enb.ue(rnti)
+            entry = cache_get(rnti)
+            neighbor_channels = getattr(ue, "neighbor_channels", None)
+            if (entry is not None and entry[2] is ue.channel
+                    and not neighbor_channels):
+                # A time-invariant channel object cannot produce new
+                # observations; skip the probe until it is swapped out
+                # (entry[2] is only ever set for a time-invariant
+                # channel) or the UE gains neighbor measurements.
+                continue
+            sinr_x10 = int(round(ue.measured_sinr_db(tti) * 10))
+            if neighbor_channels:
+                neighbor = tuple(sorted(
+                    (cid, ch.cqi(tti))
+                    for cid, ch in neighbor_channels.items()))
+            else:
+                neighbor = ()
+            static = ue.channel if (not neighbor_channels and getattr(
+                ue.channel, "time_invariant", False)) else None
+            observed = (sinr_x10, neighbor)
+            if entry is None or entry[:2] != observed:
+                cache[rnti] = (sinr_x10, neighbor, static)
+                enb.mark_ue_dirty(rnti)
+            elif entry[2] is not static:
+                cache[rnti] = (sinr_x10, neighbor, static)
+
+    def get_ue_stats(self, tti: int,
+                     rntis: Optional[List[int]] = None) -> List[UeStatsReport]:
+        """Per-UE statistics snapshot (the StatsReply payload).
 
         One report per UE, attributed to its primary cell (a UE with
-        active secondary carriers still reports once).
+        active secondary carriers still reports once).  With *rntis*
+        the snapshot covers only those UEs (a delta reply's payload);
+        by default it covers every attached UE.
         """
         reports = []
-        for rnti in self._enb.rntis():
+        probe_cache = self._channel_probe
+        for rnti in (self._enb.rntis() if rntis is None else rntis):
             cell = self._enb.primary_cell(rnti)
             cell_id = cell.cell_id
             rlc = self._enb.rlc[rnti]
@@ -98,6 +163,13 @@ class AgentDataPlaneApi:
             harq = self._enb.harq[cell_id].entity(rnti)
             pdcp_tx = sum(s.tx_bytes for s in pdcp.stats.values())
             pdcp_rx = sum(s.rx_bytes for s in pdcp.stats.values())
+            # The channel probe caches the fixed-point SINR for UEs on
+            # a time-invariant channel; reuse it instead of re-deriving.
+            probed = probe_cache.get(rnti)
+            if probed is not None and probed[2] is ue.channel:
+                sinr_x10 = probed[0]
+            else:
+                sinr_x10 = int(round(ue.measured_sinr_db(tti) * 10))
             # Neighbor-cell measurements exist only when the
             # deployment attached neighbor channels to the UE.
             neighbor_channels = getattr(ue, "neighbor_channels", {})
@@ -109,8 +181,7 @@ class AgentDataPlaneApi:
                 wb_cqi=wb,
                 wb_cqi_clear=cell.known_cqi_clear.get(rnti, 0),
                 subband_cqi=[wb] * SUBBANDS,
-                subband_sinr_db_x10=[
-                    int(round(ue.measured_sinr_db(tti) * 10))] * SUBBANDS,
+                subband_sinr_db_x10=[sinr_x10] * SUBBANDS,
                 harq_states=[
                     (2 if p.needs_retx else 1) if p.busy else 0
                     for p in harq.processes],

@@ -25,6 +25,12 @@ from repro.core.protocol.messages import (
 )
 
 
+FULL_REFRESH_REPLIES = 64
+"""A periodic subscription re-sends a full snapshot every this many
+replies (staggered by agent id) so the master's picture self-heals even
+if a delta reply is ever lost or misapplied."""
+
+
 @dataclass
 class Subscription:
     """One registered statistics request."""
@@ -36,16 +42,45 @@ class Subscription:
     created_tti: int
     served: bool = False
     last_digest: Optional[int] = None
+    #: Change-sequence watermark of the previous reply; ``-1`` forces
+    #: the next reply to be a full snapshot.
+    last_seq: int = -1
+    #: Replies produced so far (drives the staggered full refresh).
+    replies: int = 0
 
 
 class ReportsManager:
-    """Registers report requests and produces due replies."""
+    """Registers report requests and produces due replies.
+
+    Periodic subscriptions are served *incrementally*: after the first
+    full snapshot, each reply carries only the UEs whose reportable
+    state changed since the previous reply (tracked through the
+    eNodeB's change-sequence machinery, with channel-driven changes
+    folded in by :meth:`AgentDataPlaneApi.probe_channel_changes`).
+    Cell reports are always complete, every reply self-identifies via
+    ``StatsReply.full``, and a full snapshot is re-sent every
+    :data:`FULL_REFRESH_REPLIES` replies and after a reconnect
+    (:meth:`force_full`), so the master's RIB converges even across
+    disruptions.
+    """
 
     def __init__(self, agent_id: int, api: AgentDataPlaneApi) -> None:
         self._agent_id = agent_id
         self._api = api
         self._subscriptions: Dict[int, Subscription] = {}
         self.reports_sent = 0
+        # Minimal duck-typed APIs (e.g. the Wi-Fi AP facade) expose
+        # only the snapshot calls; without the change-sequence surface
+        # every reply degrades to a full snapshot.
+        self._delta_capable = (
+            hasattr(api, "probe_channel_changes")
+            and hasattr(api, "ue_change_seqs")
+            and hasattr(api, "change_seq"))
+
+    def force_full(self) -> None:
+        """Make every subscription's next reply a full snapshot."""
+        for sub in self._subscriptions.values():
+            sub.last_seq = -1
 
     def register(self, request: StatsRequest, now: int) -> None:
         """Apply a StatsRequest (or cancel an existing subscription)."""
@@ -68,23 +103,61 @@ class ReportsManager:
     def due_replies(self, now: int) -> List[StatsReply]:
         """Build the statistics replies owed at this TTI."""
         replies: List[StatsReply] = []
-        snapshot: Optional[Tuple[List[UeStatsReport], List[CellStatsReport]]] = None
         done: List[int] = []
-        for sub in self.active_subscriptions():
-            if not self._is_due(sub, now):
+        due = [sub for sub in self.active_subscriptions()
+               if self._is_due(sub, now)]
+        if not due:
+            return replies
+        # One channel probe per report TTI folds channel-driven field
+        # changes into the change sequence before any delta decision.
+        if self._delta_capable:
+            self._api.probe_channel_changes(now)
+            seq_now: Optional[int] = self._api.change_seq
+        else:
+            seq_now = None
+        ue_seqs: Optional[Dict[int, int]] = None
+        full_ues: Optional[List[UeStatsReport]] = None
+        base_cells: Optional[List[CellStatsReport]] = None
+        for sub in due:
+            if (seq_now is not None
+                    and sub.report_type == ReportType.TRIGGERED
+                    and sub.last_digest is not None
+                    and sub.last_seq == seq_now):
+                # Every digest input is covered by the change sequence,
+                # so an unchanged sequence means an unchanged digest:
+                # skip without rebuilding and hashing the snapshot.
                 continue
-            if snapshot is None:
-                snapshot = (self._api.get_ue_stats(now),
-                            self._api.get_cell_stats(now))
-            ue_reports, cell_reports = self._filter(snapshot, sub.flags)
+            if base_cells is None:
+                base_cells = self._api.get_cell_stats(now)
+            delta = (seq_now is not None
+                     and sub.report_type == ReportType.PERIODIC
+                     and sub.last_seq >= 0
+                     and (sub.replies % FULL_REFRESH_REPLIES
+                          != self._agent_id % FULL_REFRESH_REPLIES))
+            if delta:
+                if ue_seqs is None:
+                    ue_seqs = self._api.ue_change_seqs()
+                changed = sorted(rnti for rnti, seq in ue_seqs.items()
+                                 if seq > sub.last_seq)
+                base_ues = self._api.get_ue_stats(now, rntis=changed)
+            else:
+                if full_ues is None:
+                    full_ues = self._api.get_ue_stats(now)
+                base_ues = full_ues
+            ue_reports, cell_reports = self._filter(
+                (base_ues, base_cells), sub.flags)
+            if seq_now is not None:
+                sub.last_seq = seq_now
             if sub.report_type == ReportType.TRIGGERED:
                 digest = self._digest(ue_reports)
                 if digest == sub.last_digest:
                     continue
                 sub.last_digest = digest
+            sub.replies += 1
             replies.append(StatsReply(
                 header=Header(agent_id=self._agent_id, xid=sub.xid, tti=now),
                 report_type=sub.report_type,
+                full=0 if delta else 1,
                 ue_reports=ue_reports, cell_reports=cell_reports))
             sub.served = True
             if sub.report_type == ReportType.ONE_OFF:

@@ -134,6 +134,7 @@ class MasterController:
         self.dead_gc_ttis = dead_gc_ttis
         self._last_echo_sent: Dict[int, int] = {}
         self._last_config_request: Dict[int, int] = {}
+        self._last_ue_config_request: Dict[int, int] = {}
         self._cycle_hooks: List[Callable[[int], None]] = []
         self.agents_declared_dead = 0
         self.agent_reattaches = 0
@@ -377,4 +378,10 @@ class MasterController:
             if message.event_type in (int(EventType.UE_ATTACH),
                                       int(EventType.ATTACH_FAILED),
                                       int(EventType.HANDOVER_COMPLETE)):
-                self.northbound.request_config(agent_id, scope="ues")
+                # A "ues"-scoped reply snapshots *every* UE, so one
+                # request per (agent, TTI) covers any number of
+                # same-TTI attach/handover events -- a mass-attach wave
+                # must not fan out into a config-request flood.
+                if self._last_ue_config_request.get(agent_id) != self.now:
+                    self._last_ue_config_request[agent_id] = self.now
+                    self.northbound.request_config(agent_id, scope="ues")

@@ -289,15 +289,21 @@ class UeStatsReport:
 
     @classmethod
     def decode(cls, r: Reader) -> "UeStatsReport":
-        return cls(
-            rnti=r.varint(), queues=r.int_map(), wb_cqi=r.byte(),
-            wb_cqi_clear=r.byte(), subband_cqi=r.varint_list(),
-            subband_sinr_db_x10=r.svarint_list(),
-            harq_states=r.varint_list(), ul_buffer_bytes=r.varint(),
-            power_headroom_db=r.varint(), rlc_bytes_in=r.varint(),
-            rlc_bytes_out=r.varint(), pdcp_tx_bytes=r.varint(),
-            pdcp_rx_bytes=r.varint(), rx_bytes_total=r.varint(),
-            rrc_state=r.byte(), neighbor_cqi=r.int_map())
+        # Hottest decode in the system (one per UE per report): bypass
+        # the generated dataclass __init__ (16 keyword bindings) and
+        # assign the instance dict directly.  Dict-literal values are
+        # evaluated in order, preserving the wire field sequence.
+        rep = cls.__new__(cls)
+        rep.__dict__ = {
+            "rnti": r.varint(), "queues": r.int_map(), "wb_cqi": r.byte(),
+            "wb_cqi_clear": r.byte(), "subband_cqi": r.varint_list(),
+            "subband_sinr_db_x10": r.svarint_list(),
+            "harq_states": r.varint_list(), "ul_buffer_bytes": r.varint(),
+            "power_headroom_db": r.varint(), "rlc_bytes_in": r.varint(),
+            "rlc_bytes_out": r.varint(), "pdcp_tx_bytes": r.varint(),
+            "pdcp_rx_bytes": r.varint(), "rx_bytes_total": r.varint(),
+            "rrc_state": r.byte(), "neighbor_cqi": r.int_map()}
+        return rep
 
 
 @dataclass
@@ -348,11 +354,17 @@ class StatsReply(FlexRanMessage):
     CATEGORY: ClassVar[str] = Category.STATS
 
     report_type: int = int(ReportType.PERIODIC)
+    #: 1 when ``ue_reports`` covers every attached UE; 0 for a delta
+    #: reply that carries only the UEs whose reportable state changed
+    #: since the subscription's previous reply.  Cell reports are
+    #: always complete either way.
+    full: int = 1
     ue_reports: List[UeStatsReport] = field(default_factory=list)
     cell_reports: List[CellStatsReport] = field(default_factory=list)
 
     def encode_payload(self, w: Writer) -> None:
         w.byte(self.report_type)
+        w.byte(self.full)
         w.varint(len(self.ue_reports))
         for rep in self.ue_reports:
             rep.encode(w)
@@ -363,9 +375,10 @@ class StatsReply(FlexRanMessage):
     @classmethod
     def decode_payload(cls, r: Reader, header: Header) -> "StatsReply":
         report_type = r.byte()
+        full = r.byte()
         ues = [UeStatsReport.decode(r) for _ in range(r.varint())]
         cells = [CellStatsReport.decode(r) for _ in range(r.varint())]
-        return cls(header=header, report_type=report_type,
+        return cls(header=header, report_type=report_type, full=full,
                    ue_reports=ues, cell_reports=cells)
 
 

@@ -53,11 +53,17 @@ class Writer:
                     f"varint cannot encode negative value {value}")
             self._parts.append(value)
             return self
+        parts = self._parts
+        if value < 0x4000:
+            # Two-byte fast path (queue depths, SINR fixed-point,
+            # moderate byte counters) skips the generic shift loop.
+            parts.append((value & 0x7F) | 0x80)
+            parts.append(value >> 7)
+            return self
         if value >= _VARINT_LIMIT:
             raise EncodeError(
                 f"varint out of range: {value} needs more than "
                 f"{_MAX_VARINT_BYTES} bytes")
-        parts = self._parts
         while value >= 0x80:
             parts.append((value & 0x7F) | 0x80)
             value >>= 7
@@ -98,6 +104,13 @@ class Writer:
     def varint_list(self, values: Iterable[int]) -> "Writer":
         items = list(values)
         self.varint(len(items))
+        # Bulk fast path: when every element is a single-byte varint
+        # (CQI/HARQ/occupancy vectors on the stats hot path), the whole
+        # list is its own encoding.  min/max run at C speed, so this
+        # costs three native passes instead of one Python call per item.
+        if items and min(items) >= 0 and max(items) < 0x80:
+            self._parts += bytes(items)
+            return self
         varint = self.varint
         for v in items:
             varint(v)
@@ -106,14 +119,33 @@ class Writer:
     def svarint_list(self, values: Iterable[int]) -> "Writer":
         items = list(values)
         self.varint(len(items))
-        svarint = self.svarint
+        # Bulk fast path: zigzag of [-64, 63] is a single byte each.
+        if items and min(items) >= -64 and max(items) < 64:
+            self._parts += bytes(
+                (v << 1) if v >= 0 else ~(v << 1) for v in items)
+            return self
+        varint = self.varint
         for v in items:
-            svarint(v)
+            if v < _SVARINT_MIN or v > _SVARINT_MAX:
+                raise EncodeError(
+                    f"svarint out of range: {v} not in "
+                    f"[{_SVARINT_MIN}, {_SVARINT_MAX}]")
+            varint((v << 1) if v >= 0 else ~(v << 1))
         return self
 
     def int_map(self, mapping: Dict[int, int]) -> "Writer":
-        self.varint(len(mapping))
+        n = len(mapping)
+        self.varint(n)
+        if n == 0:
+            return self
         varint = self.varint
+        if n == 1:
+            # Dominant shape on the stats hot path (one logical channel
+            # per UE): skip the sorted() allocation.
+            for key, value in mapping.items():
+                varint(key)
+                varint(value)
+            return self
         for key in sorted(mapping):
             varint(key)
             varint(mapping[key])
@@ -291,12 +323,57 @@ class Reader:
         return self._take(self.varint())
 
     def varint_list(self) -> List[int]:
-        varint = self.varint
-        return [varint() for _ in range(varint())]
+        n = self.varint()
+        raw = self._read_raw_varints(n)
+        return raw if type(raw) is list else list(raw)
 
     def svarint_list(self) -> List[int]:
-        svarint = self.svarint
-        return [svarint() for _ in range(self.varint())]
+        n = self.varint()
+        raw = self._read_raw_varints(n)
+        return [(v >> 1) ^ -(v & 1) for v in raw]
+
+    def _read_raw_varints(self, n: int):
+        """Decode *n* consecutive unsigned varints with one inlined loop.
+
+        Returns a ``bytes`` slice when every element was a single byte
+        (the bulk fast path -- one C-speed scan instead of one Python
+        call per element) and a ``list`` otherwise.
+        """
+        data = self._data
+        length = len(data)
+        pos = self._pos
+        end = pos + n
+        if n and end <= length:
+            chunk = data[pos:end]
+            if max(chunk) < 0x80:
+                self._pos = end
+                return chunk
+        out: List[int] = []
+        append = out.append
+        for _ in range(n):
+            if pos >= length:
+                raise DecodeError("truncated varint")
+            byte = data[pos]
+            pos += 1
+            if not byte & 0x80:
+                append(byte)
+                continue
+            result = byte & 0x7F
+            shift = 7
+            for _step in range(_MAX_VARINT_BYTES - 1):
+                if pos >= length:
+                    raise DecodeError("truncated varint")
+                byte = data[pos]
+                pos += 1
+                result |= (byte & 0x7F) << shift
+                if not byte & 0x80:
+                    append(result)
+                    break
+                shift += 7
+            else:
+                raise DecodeError("varint longer than 10 bytes")
+        self._pos = pos
+        return out
 
     def int_map(self) -> Dict[int, int]:
         varint = self.varint

@@ -9,8 +9,9 @@ pattern used by eICIC, and the interference wiring between cells.
 
 from __future__ import annotations
 
+import heapq
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Set
+from typing import Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.lte.constants import (
     DEFAULT_BAND,
@@ -66,6 +67,18 @@ class Cell:
         # consulted by victims of this cell when resolving interference.
         self.transmitting: bool = False
         self.last_tx_tti: int = -1
+        #: Called with the RNTI whenever a CQI refresh changed the
+        #: eNodeB's knowledge for that UE (columnar dirty marking).
+        self.cqi_listener: Optional[Callable[[int], None]] = None
+        # SRS due-heap of (due_tti, rnti): refresh_cqi pops only the
+        # UEs whose report is due this TTI instead of scanning every
+        # served UE (per-UE due times spread over all residues of the
+        # SRS period, so a full scan never gets to early-return at
+        # scale).  Entries are invalidated lazily: a popped entry for a
+        # detached RNTI is dropped, and one refreshed more recently
+        # than its due time implies (force refresh, RNTI reuse) is
+        # re-queued at the true due time.
+        self._srs_heap: List[Tuple[int, int]] = []
 
     @property
     def cell_id(self) -> int:
@@ -88,6 +101,9 @@ class Cell:
         if rnti in self.ues:
             raise ValueError(f"RNTI {rnti} already served by cell {self.cell_id}")
         self.ues[rnti] = ue
+        # The newcomer has no CQI knowledge yet: queue it as due
+        # immediately so the next refresh_cqi call observes it.
+        heapq.heappush(self._srs_heap, (-(10 ** 9), rnti))
         if primary:
             ue.serving_cell_id = self.cell_id
 
@@ -131,17 +147,45 @@ class Cell:
         restricted-measurement report eICIC introduces).  For cells
         without an interferer the two coincide.
         """
-        for rnti, ue in self.ues.items():
-            last = self.cqi_updated_tti.get(rnti)
-            if not force and last is not None and tti - last < SRS_PERIOD_TTIS:
+        has_aggressor = self.interference_source is not None
+        listener = self.cqi_listener
+        if force:
+            # Forced full refresh (attach, SCell activation): update
+            # every UE now; existing heap entries lazily re-queue
+            # themselves to the new due times as they pop.
+            for rnti, ue in self.ues.items():
+                self._refresh_one(rnti, ue, tti, has_aggressor, listener)
+            return
+        heap = self._srs_heap
+        ues_get = self.ues.get
+        updated = self.cqi_updated_tti
+        while heap and heap[0][0] <= tti:
+            _, rnti = heapq.heappop(heap)
+            ue = ues_get(rnti)
+            if ue is None:
+                continue  # detached since this entry was queued
+            last = updated.get(rnti)
+            if last is not None and tti - last < SRS_PERIOD_TTIS:
+                # Refreshed more recently than this entry knew (forced
+                # refresh, or RNTI reuse): re-queue at the true due.
+                heapq.heappush(heap, (last + SRS_PERIOD_TTIS, rnti))
                 continue
-            has_aggressor = self.interference_source is not None
-            channel = ue.channel_for(self.cell_id)
-            self.known_cqi[rnti] = channel.cqi(
-                tti, interference_active=has_aggressor)
-            self.known_cqi_clear[rnti] = channel.cqi(
-                tti, interference_active=False)
-            self.cqi_updated_tti[rnti] = tti
+            self._refresh_one(rnti, ue, tti, has_aggressor, listener)
+            heapq.heappush(heap, (tti + SRS_PERIOD_TTIS, rnti))
+
+    def _refresh_one(self, rnti: int, ue: Ue, tti: int, has_aggressor: bool,
+                     listener: Optional[Callable[[int], None]]) -> None:
+        """Refresh the eNodeB's CQI knowledge for one UE at *tti*."""
+        channel = ue.channel_for(self.cell_id)
+        cqi = channel.cqi(tti, interference_active=has_aggressor)
+        cqi_clear = channel.cqi(tti, interference_active=False)
+        if listener is not None and (
+                self.known_cqi.get(rnti) != cqi
+                or self.known_cqi_clear.get(rnti) != cqi_clear):
+            listener(rnti)
+        self.known_cqi[rnti] = cqi
+        self.known_cqi_clear[rnti] = cqi_clear
+        self.cqi_updated_tti[rnti] = tti
 
     def scheduling_cqi(self, rnti: int, tti: int) -> int:
         """CQI the scheduler should assume for *rnti* at *tti*.

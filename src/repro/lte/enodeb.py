@@ -31,7 +31,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import obs as _obs
+from repro.lte import columns as _columns
 from repro.lte.cell import Cell, CellConfig
+from repro.lte.columns import CellColumns
 from repro.lte.mac.amc import DEFAULT_ERROR_MODEL, ErrorModel
 from repro.lte.mac.dci import (
     DlAssignment,
@@ -119,7 +121,8 @@ class EnodeB:
                  cell_configs: Optional[Sequence[CellConfig]] = None, *,
                  seed: int = 0,
                  error_model: ErrorModel = DEFAULT_ERROR_MODEL,
-                 rlc_buffer_bytes: Optional[int] = None) -> None:
+                 rlc_buffer_bytes: Optional[int] = None,
+                 columnar: Optional[bool] = None) -> None:
         self.enb_id = enb_id
         if cell_configs is None:
             cell_configs = [CellConfig(cell_id=enb_id * 10)]
@@ -160,6 +163,21 @@ class EnodeB:
         self.counters = MacCounters()
         self.processing_time_s = 0.0
 
+        #: Whether :meth:`build_context` uses the columnar fast path.
+        #: Columns are maintained regardless, so this may be toggled
+        #: at runtime (the differential suite relies on that).
+        self.columnar = (_columns.COLUMNAR_DEFAULT if columnar is None
+                         else bool(columnar))
+        self._cell_columns: Dict[int, CellColumns] = {
+            c: CellColumns(cell, self) for c, cell in self.cells.items()}
+        # Per-UE change sequence: bumped whenever scheduler- or
+        # report-visible UE state changes.  Feeds both the columnar
+        # dirty bitmap and the agent's delta stats reporting.
+        self._change_seq = 0
+        self._ue_seq: Dict[int, int] = {}
+        for cell in self.cells.values():
+            cell.cqi_listener = self.mark_ue_dirty
+
     # -- topology -------------------------------------------------------
 
     def cell(self, cell_id: Optional[int] = None) -> Cell:
@@ -184,7 +202,9 @@ class EnodeB:
         self.rlc[rnti] = RlcEntity(rnti, buffer_limit_bytes=self._rlc_buffer_bytes)
         self.pdcp[rnti] = PdcpEntity(rnti)
         self.rrc.start_attach(rnti, tti)
+        self._cell_columns[cell.cell_id].add(rnti)
         cell.refresh_cqi(tti, force=True)
+        self.mark_ue_dirty(rnti)
         logger.info("enb %d: UE %s attached as RNTI %d on cell %d",
                     self.enb_id, ue.imsi, rnti, cell.cell_id)
         return rnti
@@ -194,6 +214,11 @@ class EnodeB:
         for scell_id in sorted(self._scells.pop(rnti, set())):
             self.deactivate_scell(rnti, scell_id)
         cell = self.cells[self._ue_cell.pop(rnti)]
+        self._cell_columns[cell.cell_id].remove(rnti)
+        # Membership changed: bump the change sequence so delta stats
+        # consumers notice even though the RNTI itself is gone.
+        self._change_seq += 1
+        self._ue_seq.pop(rnti, None)
         ue = cell.remove_ue(rnti)
         self.drx.remove(rnti)
         for key in [k for k in self.bearer_qos if k[0] == rnti]:
@@ -244,8 +269,10 @@ class EnodeB:
             return
         ue = self.ue(rnti)
         self.cells[scell_id].add_ue(rnti, ue, primary=False)
+        self._cell_columns[scell_id].add(rnti)
         self.cells[scell_id].refresh_cqi(tti, force=True)
         scells.add(scell_id)
+        self.mark_ue_dirty(rnti)
 
     def deactivate_scell(self, rnti: int, scell_id: int) -> None:
         """Deactivate a secondary carrier; no-op if not active."""
@@ -254,6 +281,7 @@ class EnodeB:
             scells.discard(scell_id)
         cell = self.cells.get(scell_id)
         if cell is not None and rnti in cell.ues:
+            self._cell_columns[scell_id].remove(rnti)
             cell.ues.pop(rnti)
             for mapping in (cell.known_cqi, cell.known_cqi_clear,
                             cell.cqi_updated_tti):
@@ -262,6 +290,7 @@ class EnodeB:
             self._pending_feedback = [
                 f for f in self._pending_feedback
                 if not (f[1] == scell_id and f[2] == rnti)]
+            self.mark_ue_dirty(rnti)
 
     def active_scells(self, rnti: int) -> List[int]:
         return sorted(self._scells.get(rnti, set()))
@@ -275,6 +304,7 @@ class EnodeB:
         if lcid < DEFAULT_LCID:
             raise ValueError(f"lcid {lcid} is a signalling bearer")
         self.bearer_qos[(rnti, lcid)] = profile
+        self.mark_ue_dirty(rnti)
 
     # -- DRX ---------------------------------------------------------------
 
@@ -283,6 +313,40 @@ class EnodeB:
         if rnti not in self._ue_cell:
             raise KeyError(f"unknown RNTI {rnti}")
         self.drx.configure(rnti, config)
+        tracked = config is not None
+        self._cell_columns[self._ue_cell[rnti]].set_drx_tracked(rnti, tracked)
+        for scell_id in self._scells.get(rnti, ()):
+            self._cell_columns[scell_id].set_drx_tracked(rnti, tracked)
+        self.mark_ue_dirty(rnti)
+
+    # -- change tracking -------------------------------------------------
+
+    def mark_ue_dirty(self, rnti: int) -> None:
+        """Record that *rnti*'s scheduler/report-visible state changed.
+
+        Bumps the eNodeB-wide change sequence (consumed by delta stats
+        reporting) and dirties the UE's slot in the PCell's -- and any
+        active SCell's -- column store so the next :meth:`build_context`
+        refreshes exactly this UE.
+        """
+        self._change_seq += 1
+        self._ue_seq[rnti] = self._change_seq
+        cell_id = self._ue_cell.get(rnti)
+        if cell_id is not None:
+            self._cell_columns[cell_id].mark_dirty(rnti)
+            scells = self._scells.get(rnti)
+            if scells:
+                for scell_id in scells:
+                    self._cell_columns[scell_id].mark_dirty(rnti)
+
+    @property
+    def change_seq(self) -> int:
+        """Monotone counter of UE-state changes (0 = nothing ever)."""
+        return self._change_seq
+
+    def ue_change_seq(self, rnti: int) -> int:
+        """The change-sequence value of *rnti*'s last state change."""
+        return self._ue_seq.get(rnti, 0)
 
     # -- events ---------------------------------------------------------
 
@@ -318,13 +382,16 @@ class EnodeB:
         transport-layer models see exactly what they sent.
         """
         self.pdcp[rnti].ingress(lcid, nbytes)
-        return self.rlc[rnti].enqueue(nbytes, tti, lcid)
+        accepted = self.rlc[rnti].enqueue(nbytes, tti, lcid)
+        self.mark_ue_dirty(rnti)
+        return accepted
 
     def notify_ul(self, rnti: int, nbytes: int, tti: int) -> None:
         """A UE produced uplink data (triggers a scheduling request)."""
         ue = self.ue(rnti)
         had_backlog = ue.ul_backlog_bytes > 0
         ue.generate_ul(nbytes)
+        self.mark_ue_dirty(rnti)
         if not had_backlog:
             self._emit(EnbEvent(type=EnbEventType.SCHEDULING_REQUEST,
                                 tti=tti, rnti=rnti,
@@ -336,7 +403,44 @@ class EnodeB:
         return self.rlc[rnti].buffer_bytes(lcid)
 
     def build_context(self, cell_id: int, tti: int) -> SchedulingContext:
-        """Scheduler-facing snapshot for one cell and TTI."""
+        """Scheduler-facing snapshot for one cell and TTI.
+
+        Two equivalent implementations: the columnar fast path reuses
+        per-slot cached views refreshed only for dirty UEs, while the
+        object path rebuilds every view from the protocol entities.
+        The differential fingerprint suite asserts both produce
+        decision-for-decision identical schedules.
+        """
+        if self.columnar:
+            return self._build_context_columnar(cell_id, tti)
+        return self._build_context_object(cell_id, tti)
+
+    def _build_context_columnar(self, cell_id: int, tti: int
+                                ) -> SchedulingContext:
+        cell = self.cells[cell_id]
+        views, backlogged, schedulable = \
+            self._cell_columns[cell_id].build(tti)
+        if self.bearer_qos:
+            view_rntis = {v.rnti for v in views}
+            bearer_qos = {key: profile
+                          for key, profile in self.bearer_qos.items()
+                          if key[0] in view_rntis}
+        else:
+            bearer_qos = {}
+        ctx = SchedulingContext(
+            tti=tti, n_prb=cell.n_prb, ues=views,
+            pending_retx=self.harq[cell_id].all_pending_retx(tti),
+            cell_id=cell_id, subframe=tti % SUBFRAMES_PER_FRAME,
+            abs_subframe=cell.is_muted(tti),
+            bearer_qos=bearer_qos)
+        # Seed the context's per-TTI memos from the column caches (the
+        # lists are already RNTI-ordered and filtered identically).
+        ctx._backlogged = backlogged
+        ctx._schedulable = schedulable
+        return ctx
+
+    def _build_context_object(self, cell_id: int, tti: int
+                              ) -> SchedulingContext:
         cell = self.cells[cell_id]
         views: List[UeView] = []
         rlc_map = self.rlc
@@ -449,14 +553,16 @@ class EnodeB:
     # -- internals --------------------------------------------------------
 
     def _advance_rrc(self, tti: int) -> None:
-        self.rrc.check_timeouts(tti)
-        for ctx in self.rrc.contexts():
-            if self.rrc.setup_due(ctx.rnti, tti):
+        for rnti in self.rrc.check_timeouts(tti):
+            self.mark_ue_dirty(rnti)
+        for rnti in self.rrc.attaching_rntis():
+            if self.rrc.setup_due(rnti, tti):
                 # Attach handshake rides SRB1 through the normal
                 # scheduler path; three signalling messages.
                 per_msg = ATTACH_SIGNALLING_BYTES // 3
                 for _ in range(3):
-                    self.rlc[ctx.rnti].enqueue(per_msg, tti, SRB_LCID)
+                    self.rlc[rnti].enqueue(per_msg, tti, SRB_LCID)
+                self.mark_ue_dirty(rnti)
 
     def _process_feedback(self, tti: int) -> None:
         due = [f for f in self._pending_feedback if f[0] <= tti]
@@ -464,6 +570,7 @@ class EnodeB:
         for _, cell_id, rnti, pid, ok in due:
             entity = self.harq[cell_id].entity(rnti)
             drop = entity.feedback(pid, ok)
+            self.mark_ue_dirty(rnti)
             key = (cell_id, rnti, pid)
             if ok:
                 self._harq_payload.pop(key, None)
@@ -508,6 +615,7 @@ class EnodeB:
 
         self.counters.dl_assignments += 1
         self.drx.note_activity(a.rnti, tti)
+        self.mark_ue_dirty(a.rnti)
         actual = cell.actual_cqi(a.rnti, tti)
         p_err = self.error_model.error_probability(a.cqi_used, actual, attempt)
         ok = bool(self._rng.random() >= p_err)
@@ -538,6 +646,7 @@ class EnodeB:
         sent = ue.send_ul(capacity, tti)
         if sent <= 0:
             return
+        self.mark_ue_dirty(grant.rnti)
         self.counters.ul_grants += 1
         if self._rng.random() >= p_err:
             self.counters.ul_delivered_bytes += sent

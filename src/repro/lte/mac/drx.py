@@ -78,6 +78,11 @@ class DrxManager:
 
     def __init__(self) -> None:
         self._states: Dict[int, DrxState] = {}
+        #: Awake/asleep TTIs accumulated by UEs whose DRX was later
+        #: disabled or removed: the energy proxy keeps the total even
+        #: though the per-UE state is gone.
+        self.retired_awake_ttis = 0
+        self.retired_asleep_ttis = 0
 
     def state(self, rnti: int) -> DrxState:
         if rnti not in self._states:
@@ -85,8 +90,27 @@ class DrxManager:
         return self._states[rnti]
 
     def configure(self, rnti: int, config: Optional[DrxConfig]) -> None:
-        """Enable (or, with ``None``, disable) DRX for a UE."""
+        """Enable (or, with ``None``, disable) DRX for a UE.
+
+        Disabling drops the per-UE state entirely -- a disabled UE is
+        always awake and must not keep costing the per-TTI accounting
+        loop -- after folding its awake/asleep counters into the
+        retained energy totals.
+        """
+        if config is None:
+            self._retire(rnti)
+            return
         self.state(rnti).config = config
+
+    def _retire(self, rnti: int) -> None:
+        state = self._states.pop(rnti, None)
+        if state is not None:
+            self.retired_awake_ttis += state.awake_ttis
+            self.retired_asleep_ttis += state.asleep_ttis
+
+    def is_configured(self, rnti: int) -> bool:
+        """Whether *rnti* currently has DRX enabled."""
+        return rnti in self._states
 
     def is_awake(self, rnti: int, tti: int) -> bool:
         # Fast path: a UE never touched by a DRX command has no state
@@ -106,7 +130,7 @@ class DrxManager:
             state.account(tti)
 
     def remove(self, rnti: int) -> None:
-        self._states.pop(rnti, None)
+        self._retire(rnti)
 
     def enabled_rntis(self) -> List[int]:
         return sorted(r for r, s in self._states.items() if s.enabled)

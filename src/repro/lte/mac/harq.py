@@ -62,13 +62,25 @@ class HarqDrop:
 class HarqEntity:
     """All HARQ processes of a single UE."""
 
-    def __init__(self, rnti: int) -> None:
+    def __init__(self, rnti: int, on_retx_change=None) -> None:
         self.rnti = rnti
         self.processes: List[HarqProcess] = [
             HarqProcess(pid) for pid in range(HARQ_PROCESSES)]
         self.acked_blocks = 0
         self.nacked_blocks = 0
         self.dropped_blocks = 0
+        # Invoked after any operation that may flip a process's
+        # needs_retx flag; the owning pool uses it to maintain its
+        # retx-candidate set.
+        self._on_retx_change = on_retx_change
+
+    def has_pending_retx(self) -> bool:
+        """Whether any process holds a NACKed block (timing aside)."""
+        return any(p.busy and p.needs_retx for p in self.processes)
+
+    def _retx_changed(self) -> None:
+        if self._on_retx_change is not None:
+            self._on_retx_change(self)
 
     def free_process(self) -> Optional[HarqProcess]:
         """A process available for new data, or ``None`` if all busy."""
@@ -108,6 +120,7 @@ class HarqEntity:
         proc.last_tx_tti = tti
         proc.awaiting_feedback = True
         proc.needs_retx = False
+        self._retx_changed()
         return proc
 
     def feedback(self, pid: int, ok: bool) -> Optional[HarqDrop]:
@@ -124,14 +137,17 @@ class HarqEntity:
         if ok:
             self.acked_blocks += 1
             proc.reset()
+            self._retx_changed()
             return None
         self.nacked_blocks += 1
         if proc.attempt >= MAX_HARQ_TX:
             self.dropped_blocks += 1
             drop = HarqDrop(self.rnti, pid, proc.payload_bytes, proc.lcid)
             proc.reset()
+            self._retx_changed()
             return drop
         proc.needs_retx = True
+        self._retx_changed()
         return None
 
     def pending_retx(self, tti: int) -> List[PendingRetx]:
@@ -156,17 +172,33 @@ class HarqPool:
 
     def __init__(self) -> None:
         self._entities: Dict[int, HarqEntity] = {}
+        # RNTIs with at least one process awaiting retransmission:
+        # keeps the per-TTI pending-retx sweep proportional to UEs
+        # with NACKed blocks instead of all attached UEs.  A UE stays
+        # in the set while its retransmission is timing-ineligible
+        # (NACKed but inside the HARQ RTT).
+        self._retx_rntis: set = set()
 
     def entity(self, rnti: int) -> HarqEntity:
         if rnti not in self._entities:
-            self._entities[rnti] = HarqEntity(rnti)
+            self._entities[rnti] = HarqEntity(
+                rnti, on_retx_change=self._on_retx_change)
         return self._entities[rnti]
 
     def remove(self, rnti: int) -> None:
         self._entities.pop(rnti, None)
+        self._retx_rntis.discard(rnti)
+
+    def _on_retx_change(self, entity: HarqEntity) -> None:
+        if entity.has_pending_retx():
+            self._retx_rntis.add(entity.rnti)
+        else:
+            self._retx_rntis.discard(entity.rnti)
 
     def all_pending_retx(self, tti: int) -> List[PendingRetx]:
+        if not self._retx_rntis:
+            return []
         out: List[PendingRetx] = []
-        for rnti in sorted(self._entities):
+        for rnti in sorted(self._retx_rntis):
             out.extend(self._entities[rnti].pending_retx(tti))
         return out

@@ -35,6 +35,12 @@ UE_NOISE_FIGURE_DB = 7.0
 class ChannelModel(abc.ABC):
     """Downlink channel between one cell and one UE."""
 
+    #: True when :meth:`sinr_db`/:meth:`cqi` never vary with the TTI.
+    #: Consumers (e.g. the agent's channel-change probe) may then cache
+    #: one observation for the lifetime of the channel *object*; a
+    #: swapped-in channel instance must be re-observed.
+    time_invariant = False
+
     @abc.abstractmethod
     def sinr_db(self, tti: int, *, interference_active: bool = True) -> float:
         """SINR (dB) seen by the UE at *tti*.
@@ -51,6 +57,8 @@ class ChannelModel(abc.ABC):
 
 class FixedSinr(ChannelModel):
     """Time-invariant SINR; the simplest possible link."""
+
+    time_invariant = True
 
     def __init__(self, sinr_db: float) -> None:
         self._sinr_db = float(sinr_db)

@@ -79,6 +79,31 @@ def prbs_needed(cqi: int, bits: int, *, uplink: bool = False) -> int:
     if per_prb <= 0:
         raise ValueError(f"CQI {cqi} yields a zero-bit PRB")
     n = int(bits / per_prb)
+    # The float seed undershoots the exact answer by at most the
+    # integer-truncation slack (one PRB, plus one more for the TB's
+    # own int() derating), so a handful of increments always suffices;
+    # the explicit limit turns a hypothetical float pathology into a
+    # loud error instead of an unbounded loop.
+    limit = n + 8
     while transport_block_bits(cqi, n, uplink=uplink) < bits:
         n += 1
+        if n > limit:
+            raise RuntimeError(
+                f"prbs_needed(cqi={cqi}, bits={bits}, uplink={uplink}) "
+                f"failed to converge from seed {limit - 8}")
+    # Guard minimality as well: if the seed ever landed high, step back
+    # down to the smallest sufficient PRB count.
+    while n > 1 and transport_block_bits(cqi, n - 1, uplink=uplink) >= bits:
+        n -= 1
     return n
+
+
+def clear_caches() -> None:
+    """Reset the process-global sizing caches.
+
+    One Python process can run many simulations (test suites, the perf
+    harness); clearing between runs keeps cache occupancy -- and any
+    hit-rate measurement -- attributable to the current run.
+    """
+    transport_block_bits.cache_clear()
+    prbs_needed.cache_clear()

@@ -18,7 +18,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import Callable, Dict, List
+from typing import Callable, Dict, List, Optional, Set
 
 ATTACH_SIGNALLING_BYTES = 384
 """Bytes of SRB1 signalling (RRC setup + reconfiguration + security)
@@ -77,6 +77,10 @@ class RrcEntity:
     def __init__(self) -> None:
         self._contexts: Dict[int, RrcUeContext] = {}
         self._observers: List[Callable[[RrcEvent, int, int], None]] = []
+        # RNTIs whose attach is still in flight (RANDOM_ACCESS or
+        # CONNECTING): the only contexts the per-TTI supervision loops
+        # need to visit, so they stay O(attaching) not O(attached).
+        self._attaching: Set[int] = set()
 
     def subscribe(self, fn: Callable[[RrcEvent, int, int], None]) -> None:
         """Register ``fn(event, rnti, tti)`` for RRC events."""
@@ -94,12 +98,22 @@ class RrcEntity:
     def contexts(self) -> List[RrcUeContext]:
         return [self._contexts[r] for r in sorted(self._contexts)]
 
+    def state_of(self, rnti: int) -> Optional[RrcState]:
+        """The UE's RRC state, or ``None`` for an unknown RNTI."""
+        ctx = self._contexts.get(rnti)
+        return ctx.state if ctx is not None else None
+
+    def attaching_rntis(self) -> List[int]:
+        """RNTIs with an attach in flight, in RNTI order."""
+        return sorted(self._attaching)
+
     def start_attach(self, rnti: int, tti: int) -> RrcUeContext:
         """Begin random access for a new UE."""
         if rnti in self._contexts:
             raise ValueError(f"RNTI {rnti} already has an RRC context")
         ctx = RrcUeContext(rnti=rnti, state=RrcState.RANDOM_ACCESS, ra_tti=tti)
         self._contexts[rnti] = ctx
+        self._attaching.add(rnti)
         self._notify(RrcEvent.RANDOM_ACCESS, rnti, tti)
         return ctx
 
@@ -121,17 +135,22 @@ class RrcEntity:
                 and ctx.srb_delivered_bytes >= ATTACH_SIGNALLING_BYTES):
             ctx.state = RrcState.CONNECTED
             ctx.connected_tti = tti
+            self._attaching.discard(rnti)
             self._notify(RrcEvent.UE_ATTACHED, rnti, tti)
 
     def check_timeouts(self, tti: int) -> List[int]:
         """Fail attaches that exceeded the deadline; returns failed RNTIs."""
-        failed = []
-        for ctx in self.contexts():
-            if (ctx.state in (RrcState.RANDOM_ACCESS, RrcState.CONNECTING)
-                    and tti - ctx.ra_tti > ATTACH_TIMEOUT_TTIS):
+        failed: List[int] = []
+        if not self._attaching:
+            return failed
+        for rnti in sorted(self._attaching):
+            ctx = self._contexts[rnti]
+            if tti - ctx.ra_tti > ATTACH_TIMEOUT_TTIS:
                 ctx.state = RrcState.FAILED
-                failed.append(ctx.rnti)
-                self._notify(RrcEvent.ATTACH_FAILED, ctx.rnti, tti)
+                failed.append(rnti)
+                self._notify(RrcEvent.ATTACH_FAILED, rnti, tti)
+        for rnti in failed:
+            self._attaching.discard(rnti)
         return failed
 
     def is_connected(self, rnti: int) -> bool:
@@ -147,3 +166,4 @@ class RrcEntity:
     def release(self, rnti: int) -> None:
         """Drop the context (UE detached or handed over away)."""
         self._contexts.pop(rnti, None)
+        self._attaching.discard(rnti)

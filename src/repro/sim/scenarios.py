@@ -193,15 +193,27 @@ def large_scale(*, n_enbs: int = 32, ues_per_enb: int = 100,
             cqi = SCALE_CQI_CYCLE[i % len(SCALE_CQI_CYCLE)]
             ue = Ue(f"{e:02d}{i:04d}", FixedCqi(cqi))
             sim.add_ue(enb, ue)
+            # Low-discrepancy phase spread: equal-rate CBR flows would
+            # otherwise emit in lockstep, turning the fleet's offered
+            # load into one synchronized packet burst per interval.
+            phase = (0.618033988749895
+                     * (e * ues_per_enb + i + 1)) % 1.0
             sim.add_downlink_traffic(enb, ue, CbrSource(per_ue_mbps,
-                                                        start_tti=20))
+                                                        start_tti=20,
+                                                        phase=phase))
             ues.append(ue)
         enbs.append(enb)
         agents.append(agent)
 
     def subscribe(tti: int) -> None:
-        if tti == 2:
-            for agent in agents:
+        # Stagger subscriptions across one reporting period so the
+        # fleet's report TTIs interleave instead of phase-locking: with
+        # every agent subscribed on the same TTI, all encode/decode
+        # work lands on one TTI in `stats_period_ttis` and the per-TTI
+        # wall-time distribution turns bimodal.
+        offset = tti - 2
+        if 0 <= offset < stats_period_ttis:
+            for agent in agents[offset::stats_period_ttis]:
                 sim.master.northbound.request_stats(
                     agent.agent_id, report_type=ReportType.PERIODIC,
                     period_ttis=stats_period_ttis)

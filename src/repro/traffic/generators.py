@@ -17,6 +17,9 @@ import numpy as np
 DEFAULT_PACKET_BYTES = 1400
 """Typical payload of an MTU-sized UDP datagram after headers."""
 
+_NEVER_TTI = 1 << 62
+"""Sentinel emission TTI for flows that will never produce a packet."""
+
 
 class TrafficSource(abc.ABC):
     """Produces downlink (or uplink) packets per TTI."""
@@ -35,16 +38,28 @@ class CbrSource(TrafficSource):
 
     def __init__(self, rate_mbps: float,
                  packet_bytes: int = DEFAULT_PACKET_BYTES,
-                 *, start_tti: int = 0, stop_tti: int = -1) -> None:
+                 *, start_tti: int = 0, stop_tti: int = -1,
+                 phase: float = 0.0) -> None:
         if rate_mbps < 0:
             raise ValueError(f"rate must be >= 0, got {rate_mbps}")
         if packet_bytes <= 0:
             raise ValueError(f"packet size must be positive, got {packet_bytes}")
+        if not 0.0 <= phase < 1.0:
+            raise ValueError(f"phase must be in [0, 1), got {phase}")
         self.rate_mbps = rate_mbps
         self.packet_bytes = packet_bytes
         self.start_tti = start_tti
         self.stop_tti = stop_tti
-        self._credit_bytes = 0.0
+        # The phase pre-credits a fraction of one packet, offsetting
+        # this flow's emission instants within the packet interval.
+        # Without it, equal-rate flows created together emit in
+        # lockstep -- a fleet of CBR flows then delivers its packets
+        # as one synchronized burst instead of a steady stream.
+        self._credit_bytes = phase * packet_bytes
+        # Last TTI credited; None until the first in-window call, so
+        # the rate clock starts at first use (a flow provisioned long
+        # before its UE attaches does not burst its backlog).
+        self._credited_through: int | None = None
 
     @property
     def bytes_per_tti(self) -> float:
@@ -53,12 +68,34 @@ class CbrSource(TrafficSource):
     def packets(self, tti: int) -> List[int]:
         if tti < self.start_tti or (0 <= self.stop_tti <= tti):
             return []
-        self._credit_bytes += self.bytes_per_tti
+        # Credit by elapsed TTIs rather than per call: callers holding
+        # a next_emission_tti() hint may legitimately skip the TTIs in
+        # between, and the long-run rate must not depend on that.
+        last = self._credited_through
+        if last is None:
+            elapsed = 1
+        elif tti <= last:
+            return []
+        else:
+            elapsed = tti - last
+        self._credited_through = tti
+        self._credit_bytes += self.bytes_per_tti * elapsed
         out: List[int] = []
         while self._credit_bytes >= self.packet_bytes:
             out.append(self.packet_bytes)
             self._credit_bytes -= self.packet_bytes
         return out
+
+    def next_emission_tti(self, now: int) -> int:
+        """Earliest TTI after *now* whose :meth:`packets` call can
+        return packets, assuming no intervening calls (credit accrues
+        for the skipped TTIs on the next call)."""
+        bpt = self.bytes_per_tti
+        if bpt <= 0.0:
+            return _NEVER_TTI
+        deficit = self.packet_bytes - self._credit_bytes
+        ttis = max(1, -int(-deficit // bpt))  # ceil for positive bpt
+        return max(now + ttis, self.start_tti)
 
 
 class SaturatingSource(TrafficSource):
@@ -120,6 +157,12 @@ class OnOffSource(TrafficSource):
         self.on_ttis = on_ttis
         self.off_ttis = off_ttis
         self.start_tti = start_tti
+        # Monotone count of on-phase calls, fed to the inner CBR as its
+        # TTI so off periods pause the inner rate clock (the inner
+        # credits elapsed TTIs, so feeding it raw TTIs would make the
+        # off time accrue credit and burst at the start of each on
+        # period).
+        self._active_calls = 0
 
     def packets(self, tti: int) -> List[int]:
         if tti < self.start_tti:
@@ -127,4 +170,5 @@ class OnOffSource(TrafficSource):
         phase = (tti - self.start_tti) % (self.on_ttis + self.off_ttis)
         if phase >= self.on_ttis:
             return []
-        return self._inner.packets(tti)
+        self._active_calls += 1
+        return self._inner.packets(self._active_calls - 1)

@@ -90,6 +90,7 @@ MESSAGE_STRATEGIES = {
     StatsRequest: st.builds(StatsRequest, header=HEADERS, report_type=UVAR,
                             period_ttis=UVAR, flags=UVAR),
     StatsReply: st.builds(StatsReply, header=HEADERS, report_type=U8,
+                          full=st.integers(min_value=0, max_value=1),
                           ue_reports=st.lists(UE_STATS, max_size=3),
                           cell_reports=st.lists(CELL_STATS, max_size=2)),
     SubframeTrigger: st.builds(SubframeTrigger, header=HEADERS, sfn=UVAR,

@@ -65,6 +65,37 @@ class TestDrxManager:
         assert mgr.is_awake(70, 5)
         assert mgr.enabled_rntis() == []
 
+    def test_disable_drops_state_and_folds_energy_totals(self):
+        # Regression: disabling DRX used to leave a zombie DrxState in
+        # the manager (still visited by account_all every TTI) and its
+        # awake/asleep counters vanished from the energy proxy.
+        mgr = DrxManager()
+        mgr.configure(70, DrxConfig(cycle_ttis=10, on_duration_ttis=2,
+                                    inactivity_ttis=0))
+        for tti in range(40):
+            mgr.account_all(tti)
+        state = mgr._states[70]
+        awake, asleep = state.awake_ttis, state.asleep_ttis
+        assert asleep > 0
+        mgr.configure(70, None)
+        # State dropped entirely: the per-TTI accounting loop must not
+        # keep paying for a UE whose DRX is off.
+        assert 70 not in mgr._states
+        assert not mgr.is_configured(70)
+        # ... but the energy totals survive in the retired counters.
+        assert mgr.retired_awake_ttis == awake
+        assert mgr.retired_asleep_ttis == asleep
+        # Re-enabling starts fresh accounting; a later detach folds too.
+        mgr.configure(70, DrxConfig(cycle_ttis=10, on_duration_ttis=2,
+                                    inactivity_ttis=0))
+        assert mgr._states[70].awake_ttis == 0
+        for tti in range(10):
+            mgr.account_all(tti)
+        mgr.remove(70)
+        assert 70 not in mgr._states
+        assert mgr.retired_awake_ttis + mgr.retired_asleep_ttis \
+            == awake + asleep + 10
+
 
 class TestEnodebDrx:
     def build(self):

@@ -1,0 +1,85 @@
+"""Queue->PRB threshold-table tests (the scheduler sizing cache).
+
+``prbs_for_queue`` used to sit behind an ``lru_cache`` keyed on the
+raw ``(cqi, queue_bytes)`` pair, which VBR/mixed traffic thrashed with
+never-repeating byte counts.  The threshold table quantizes the key to
+the PRB granularity the answer actually has; these tests pin the
+equivalence with the exact computation, the bounded memory shape, the
+hit/miss observability counters, and the per-Simulation reset.
+"""
+
+from hypothesis import given, strategies as st
+
+from repro import obs
+from repro.lte.mac import schedulers
+from repro.lte.mac.schedulers import clear_caches, prbs_for_queue
+from repro.lte.phy.tbs import prbs_needed
+from repro.lte.rlc import RLC_HEADER_BYTES
+
+
+def exact(cqi: int, queue_bytes: int) -> int:
+    if queue_bytes <= 0:
+        return 0
+    return prbs_needed(cqi, (queue_bytes + RLC_HEADER_BYTES + 1) * 8)
+
+
+class TestThresholdTable:
+    def setup_method(self):
+        clear_caches()
+
+    @given(st.integers(min_value=1, max_value=15),
+           st.integers(min_value=0, max_value=10 ** 5))
+    def test_matches_exact_computation(self, cqi, queue_bytes):
+        assert prbs_for_queue(cqi, queue_bytes) == exact(cqi, queue_bytes)
+
+    def test_repeat_queries_hit_the_table(self):
+        # Warm the table once, then check interleaved never-repeating
+        # byte counts still resolve from it (the lru_cache failure
+        # mode was a miss for every distinct byte value).
+        prbs_for_queue(12, 50_000)
+        with obs.enabled_scope(trace=False) as ob:
+            for qb in range(1, 2_000, 7):
+                assert prbs_for_queue(12, qb) == exact(12, qb)
+            hits = ob.registry.counter("mac.sched.prb_cache.hits").value
+            misses = ob.registry.counter("mac.sched.prb_cache.misses").value
+        assert misses == 0
+        assert hits == len(range(1, 2_000, 7))
+
+    def test_table_growth_bounded_by_prb_count(self):
+        clear_caches()
+        for qb in range(1, 30_000, 11):
+            prbs_for_queue(9, qb)
+        table = schedulers._queue_thresholds[9]
+        # Memory is one threshold per PRB level ever needed -- not one
+        # entry per distinct queue_bytes value seen.
+        assert len(table) == exact(9, 29_998)
+
+    def test_miss_extends_then_hits(self):
+        clear_caches()
+        with obs.enabled_scope(trace=False) as ob:
+            prbs_for_queue(12, 10_000)
+            assert ob.registry.counter(
+                "mac.sched.prb_cache.misses").value == 1
+            prbs_for_queue(12, 9_000)  # smaller: covered by the extension
+            assert ob.registry.counter(
+                "mac.sched.prb_cache.hits").value == 1
+
+    def test_clear_caches_resets_tables(self):
+        prbs_for_queue(12, 10_000)
+        assert schedulers._queue_thresholds
+        clear_caches()
+        assert not schedulers._queue_thresholds
+
+    def test_new_simulation_clears_process_caches(self):
+        from repro.sim.simulation import Simulation
+
+        prbs_for_queue(12, 10_000)
+        assert schedulers._queue_thresholds
+        Simulation()
+        # A fresh deployment must not inherit another simulation's
+        # sizing caches (nor their hit-rate accounting skew).
+        assert not schedulers._queue_thresholds
+
+    def test_zero_and_negative_queue_need_no_prbs(self):
+        assert prbs_for_queue(12, 0) == 0
+        assert prbs_for_queue(12, -5) == 0
